@@ -1,0 +1,70 @@
+// Command rairbench reproduces the paper's evaluation: every table and
+// figure has a named experiment that regenerates its rows.
+//
+// Usage:
+//
+//	rairbench -list              # show available experiments
+//	rairbench                    # run everything at paper durations
+//	rairbench -quick             # run everything at reduced durations
+//	rairbench -experiment fig14  # run one experiment
+//
+// Results print as aligned tables; see EXPERIMENTS.md for paper-vs-measured
+// commentary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"rair"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use reduced warmup/measurement windows")
+	name := flag.String("experiment", "", "run a single experiment (see -list)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	csvDir := flag.String("csv", "", "also write each experiment's table as CSV into this directory")
+	flag.Parse()
+
+	if *list {
+		for _, e := range rair.Experiments() {
+			fmt.Printf("%-13s %s\n", e.Name, e.Paper)
+		}
+		return
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "rairbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	run := func(n string) {
+		start := time.Now()
+		out, csv, err := rair.ExperimentCSV(n, *quick, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rairbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (%.1fs)\n%s\n", n, time.Since(start).Seconds(), out)
+		if *csvDir != "" && csv != "" {
+			path := filepath.Join(*csvDir, n+".csv")
+			if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "rairbench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if *name != "" {
+		run(*name)
+		return
+	}
+	for _, e := range rair.Experiments() {
+		run(e.Name)
+	}
+}

@@ -1,0 +1,63 @@
+// Command rairsim runs one NoC simulation described by a JSON file and
+// prints its latency report.
+//
+// Usage:
+//
+//	rairsim -f sim.json
+//	rairsim -example            # print an example configuration
+//
+// The file schema is documented in internal/config; in short it carries the
+// simulation configuration (mesh, region layout, scheme, router
+// parameters), the traffic (synthetic apps or the PARSEC proxies, plus an
+// optional adversarial injector) and the run phases.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rair/internal/config"
+)
+
+const example = `{
+  "config": {
+    "layout": "halves",
+    "scheme": "RA_RAIR",
+    "seed": 7
+  },
+  "apps": [
+    {"app": 0, "loadFrac": 0.10, "globalFrac": 0.5},
+    {"app": 1, "loadFrac": 0.90}
+  ],
+  "phases": {"warmup": 10000, "measure": 100000, "drain": 20000}
+}`
+
+func main() {
+	file := flag.String("f", "", "simulation description (JSON)")
+	showExample := flag.Bool("example", false, "print an example configuration and exit")
+	flag.Parse()
+
+	if *showExample {
+		fmt.Println(example)
+		return
+	}
+	if *file == "" {
+		fmt.Fprintln(os.Stderr, "rairsim: -f <file.json> required (see -example)")
+		os.Exit(2)
+	}
+	f, err := config.Load(*file)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := f.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rairsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,177 @@
+// Command rairtrace generates, inspects and replays packet-level traffic
+// traces — the trace-driven methodology used for the application
+// experiments (the stand-in for the paper's SIMICS+GEMS captures).
+//
+// Usage:
+//
+//	rairtrace gen -o parsec.trace -cycles 50000   # capture PARSEC-proxy traffic
+//	rairtrace info parsec.trace                   # summarize a trace
+//	rairtrace replay -scheme RA_RAIR parsec.trace # replay under a scheme
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rair/internal/harness"
+	"rair/internal/memsys"
+	"rair/internal/msg"
+	"rair/internal/network"
+	"rair/internal/stats"
+	"rair/internal/trace"
+	"rair/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		gen(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: rairtrace gen|info|replay [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rairtrace:", err)
+	os.Exit(1)
+}
+
+// gen captures the PARSEC-proxy scenario's injections under the RO_RR
+// baseline (trace capture is policy-independent traffic: the memory system
+// is closed-loop, so a neutral baseline network is used for timing).
+func gen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	out := fs.String("o", "parsec.trace", "output file")
+	cycles := fs.Int64("cycles", 50000, "capture length in cycles")
+	seed := fs.Uint64("seed", 1, "seed")
+	fs.Parse(args)
+
+	regs, streams := harness.PARSECScenario()
+	s := harness.RORR()
+	cfg := harness.MemsysRouterConfig()
+	var rec trace.Recorder
+	var sys *memsys.System
+	net := network.New(network.Params{
+		Router: cfg, Regions: regs,
+		Alg: s.Alg(regs.Mesh()), Sel: s.Sel(regs, cfg), Policy: s.Policy,
+		OnEject: func(p *msg.Packet, now int64) { sys.HandleEject(p, now) },
+	})
+	sys = memsys.New(memsys.DefaultSystemConfig(), regs, streams, *seed,
+		func(node int, p *msg.Packet, now int64) {
+			rec.Capture(node, p, now)
+			net.NI(node).Inject(p, now)
+		})
+	sys.Prewarm(harness.PrewarmAccesses)
+	for now := int64(0); now < *cycles; now++ {
+		sys.Tick(now)
+		net.Tick(now)
+	}
+	rec.T.Sort()
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := rec.T.Write(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d events over %d cycles to %s\n", rec.T.Len(), rec.T.Duration(), *out)
+}
+
+func readTrace(path string) *trace.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	t, err := trace.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+	return t
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	t := readTrace(fs.Arg(0))
+	if err := t.Validate(64); err != nil {
+		fmt.Println("warning:", err)
+	}
+	perApp := map[int32]int{}
+	flits := 0
+	for _, e := range t.Events {
+		perApp[e.App]++
+		flits += int(e.Size)
+	}
+	fmt.Printf("%d events, %d flits, %d cycles\n", t.Len(), flits, t.Duration())
+	if t.Duration() > 0 {
+		fmt.Printf("aggregate rate: %.4f flits/node/cycle (64 nodes)\n",
+			float64(flits)/float64(t.Duration())/64)
+	}
+	profiles := workload.Profiles()
+	for app := int32(0); int(app) < len(perApp); app++ {
+		name := fmt.Sprintf("app%d", app)
+		if int(app) < len(profiles) {
+			name = profiles[app].Name
+		}
+		fmt.Printf("  %-14s %d packets\n", name, perApp[app])
+	}
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	schemeName := fs.String("scheme", "RO_RR", "interference-reduction scheme")
+	warmup := fs.Int64("warmup", 10000, "warmup cycles excluded from statistics")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	t := readTrace(fs.Arg(0))
+	s, err := harness.SchemeByName(*schemeName)
+	if err != nil {
+		fatal(err)
+	}
+	regs, _ := harness.PARSECScenario()
+	cfg := harness.MemsysRouterConfig()
+	col := stats.NewCollector(*warmup, t.Duration())
+	net := network.New(network.Params{
+		Router: cfg, Regions: regs,
+		Alg: s.Alg(regs.Mesh()), Sel: s.Sel(regs, cfg), Policy: s.Policy,
+		OnEject: col.OnEject,
+	})
+	player := trace.NewPlayer(t, func(node int, p *msg.Packet, now int64) {
+		net.NI(node).Inject(p, now)
+	})
+	now := int64(0)
+	for ; !player.Done() || !net.Drained(); now++ {
+		player.Tick(now)
+		net.Tick(now)
+		if now > t.Duration()+200000 {
+			fmt.Fprintln(os.Stderr, "rairtrace: drain timeout")
+			break
+		}
+	}
+	fmt.Printf("replayed %d packets under %s in %d cycles\n", player.Injected(), s.Name, now)
+	fmt.Printf("APL %.2f (p95 %.1f) over %d measured packets\n",
+		col.APL(), col.Total().Percentile(95), col.Packets())
+	for _, app := range col.Apps() {
+		fmt.Printf("  app %d: APL %.2f (%d packets)\n", app, col.App(app).Mean(), col.App(app).Count())
+	}
+}

@@ -1,0 +1,42 @@
+// Quickstart: simulate two applications sharing an 8×8 mesh NoC — a
+// low-intensity app on the left half that sends half of its traffic into
+// the other region, and a near-saturation app on the right half — and
+// compare the round-robin baseline with RAIR.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rair"
+)
+
+func main() {
+	for _, scheme := range []string{"RO_RR", "RA_RAIR"} {
+		sim, err := rair.New(rair.Config{
+			Layout: rair.LayoutHalves,
+			Scheme: scheme,
+			Seed:   42,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// App 0: 10% of saturation, half of it crossing into app 1's
+		// region ("global traffic").
+		if err := sim.AddApp(rair.AppSpec{App: 0, LoadFrac: 0.10, GlobalFrac: 0.5}); err != nil {
+			log.Fatal(err)
+		}
+		// App 1: 90% of saturation, all intra-region.
+		if err := sim.AddApp(rair.AppSpec{App: 1, LoadFrac: 0.90}); err != nil {
+			log.Fatal(err)
+		}
+		rep, err := sim.Run(rair.Phases{Warmup: 2000, Measure: 20000, Drain: 10000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s\n%s\n", scheme, rep)
+	}
+	fmt.Println("RAIR prioritizes app 0's low-intensity inter-region traffic over")
+	fmt.Println("app 1's heavy intra-region traffic, cutting app 0's latency at")
+	fmt.Println("almost no cost to app 1.")
+}

@@ -1,0 +1,63 @@
+// Sweep: two parameter studies printed as CSV for plotting —
+//
+//  1. the latency-load curve of chip-wide uniform random traffic (where the
+//     network saturates), and
+//  2. the inter-region-fraction sweep of the paper's Figure 9: a
+//     low-intensity app whose traffic increasingly crosses into a
+//     near-saturation neighbor region, under RO_RR and RAIR.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rair"
+)
+
+func latencyLoad() {
+	fmt.Println("# latency-load curve, chip-wide uniform random, RO_RR")
+	fmt.Println("load_frac,apl,throughput_flits_per_node_cycle")
+	for _, frac := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
+		sim, err := rair.New(rair.Config{Seed: 5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sim.AddApp(rair.AppSpec{App: 0, LoadFrac: frac}); err != nil {
+			log.Fatal(err)
+		}
+		rep, err := sim.Run(rair.Phases{Warmup: 2000, Measure: 8000, Drain: 10000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%.2f,%.2f,%.4f\n", frac, rep.APL, rep.Throughput)
+	}
+}
+
+func interRegion() {
+	fmt.Println("\n# inter-region fraction sweep (Figure 9 scenario)")
+	fmt.Println("scheme,p,apl_app0,apl_app1")
+	for _, scheme := range []string{"RO_RR", "RA_RAIR"} {
+		for _, p := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+			sim, err := rair.New(rair.Config{Layout: rair.LayoutHalves, Scheme: scheme, Seed: 5})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := sim.AddApp(rair.AppSpec{App: 0, LoadFrac: 0.10, GlobalFrac: p}); err != nil {
+				log.Fatal(err)
+			}
+			if err := sim.AddApp(rair.AppSpec{App: 1, LoadFrac: 0.90}); err != nil {
+				log.Fatal(err)
+			}
+			rep, err := sim.Run(rair.Phases{Warmup: 2000, Measure: 8000, Drain: 10000})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%s,%.2f,%.2f,%.2f\n", scheme, p, rep.PerApp[0], rep.PerApp[1])
+		}
+	}
+}
+
+func main() {
+	latencyLoad()
+	interRegion()
+}

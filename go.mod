@@ -1,0 +1,3 @@
+module rair
+
+go 1.22

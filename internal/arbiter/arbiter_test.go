@@ -1,0 +1,221 @@
+package arbiter
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundRobinRotates(t *testing.T) {
+	a := NewRoundRobin(4)
+	all := []bool{true, true, true, true}
+	var got []int
+	for i := 0; i < 8; i++ {
+		got = append(got, a.Grant(all))
+	}
+	want := []int{0, 1, 2, 3, 0, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("grants %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRoundRobinSkipsIdle(t *testing.T) {
+	a := NewRoundRobin(4)
+	req := []bool{false, true, false, true}
+	if g := a.Grant(req); g != 1 {
+		t.Fatalf("grant = %d", g)
+	}
+	if g := a.Grant(req); g != 3 {
+		t.Fatalf("grant = %d", g)
+	}
+	if g := a.Grant(req); g != 1 {
+		t.Fatalf("grant = %d", g)
+	}
+}
+
+func TestRoundRobinNone(t *testing.T) {
+	a := NewRoundRobin(3)
+	if g := a.Grant([]bool{false, false, false}); g != None {
+		t.Fatalf("grant = %d, want None", g)
+	}
+}
+
+// Property: under persistent full load, every requestor is served exactly
+// once per n grants (strong fairness).
+func TestRoundRobinFairness(t *testing.T) {
+	if err := quick.Check(func(n8 uint8) bool {
+		n := int(n8%8) + 2
+		a := NewRoundRobin(n)
+		all := make([]bool, n)
+		for i := range all {
+			all[i] = true
+		}
+		counts := make([]int, n)
+		for i := 0; i < 5*n; i++ {
+			counts[a.Grant(all)]++
+		}
+		for _, c := range counts {
+			if c != 5 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrioritizedHighestWins(t *testing.T) {
+	a := NewPrioritized(4)
+	req := []bool{true, true, true, true}
+	prio := []int{0, 2, 1, 2}
+	// Ties between 1 and 3 break round-robin.
+	first := a.Grant(req, prio)
+	second := a.Grant(req, prio)
+	if !(first == 1 && second == 3 || first == 3 && second == 1) {
+		t.Fatalf("grants %d,%d — must alternate among max-priority", first, second)
+	}
+	// Non-requesting high priority is ignored.
+	req2 := []bool{true, false, true, false}
+	if g := a.Grant(req2, prio); g != 2 {
+		t.Fatalf("grant = %d, want 2", g)
+	}
+}
+
+func TestPrioritizedEqualsRRWhenFlat(t *testing.T) {
+	p := NewPrioritized(5)
+	r := NewRoundRobin(5)
+	flat := make([]int, 5)
+	rng := []bool{true, false, true, true, false}
+	for i := 0; i < 20; i++ {
+		if p.Grant(rng, flat) != r.Grant(rng) {
+			t.Fatal("prioritized with flat priorities diverged from round-robin")
+		}
+	}
+}
+
+// Property: a prioritized grant never selects a lower-priority requestor
+// while a higher-priority one is requesting.
+func TestPrioritizedNeverInverts(t *testing.T) {
+	if err := quick.Check(func(reqBits, prioSeed uint16) bool {
+		const n = 8
+		a := NewPrioritized(n)
+		req := make([]bool, n)
+		prio := make([]int, n)
+		any := false
+		for i := 0; i < n; i++ {
+			req[i] = reqBits&(1<<i) != 0
+			prio[i] = int((prioSeed >> (2 * uint(i))) & 3)
+			any = any || req[i]
+		}
+		g := a.Grant(req, prio)
+		if !any {
+			return g == None
+		}
+		if g == None || !req[g] {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if req[i] && prio[i] > prio[g] {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrioritizedStarvesLowUnderLoad(t *testing.T) {
+	// Fixed priority + persistent high-priority load starves low priority;
+	// this is exactly why RAIR needs DPA's negative feedback. Document the
+	// behavior here.
+	a := NewPrioritized(2)
+	req := []bool{true, true}
+	prio := []int{1, 0}
+	for i := 0; i < 100; i++ {
+		if a.Grant(req, prio) != 0 {
+			t.Fatal("low priority served while high priority pending")
+		}
+	}
+}
+
+func TestMatrixLeastRecentlyServed(t *testing.T) {
+	m := NewMatrix(3)
+	all := []bool{true, true, true}
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		seen[m.Grant(all)] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("first 3 grants not distinct: %v", seen)
+	}
+	// After serving 0,1,2 the winner order repeats.
+	if g := m.Grant(all); !seen[g] {
+		t.Fatal("unexpected grant")
+	}
+}
+
+func TestMatrixSingleRequestor(t *testing.T) {
+	m := NewMatrix(4)
+	req := []bool{false, false, true, false}
+	for i := 0; i < 5; i++ {
+		if g := m.Grant(req); g != 2 {
+			t.Fatalf("grant = %d", g)
+		}
+	}
+	if g := m.Grant(make([]bool, 4)); g != None {
+		t.Fatal("grant on empty request vector")
+	}
+}
+
+// Property: the matrix arbiter always produces exactly one winner when
+// anyone requests (the matrix stays a total order).
+func TestMatrixAlwaysDecides(t *testing.T) {
+	if err := quick.Check(func(steps []uint8) bool {
+		const n = 5
+		m := NewMatrix(n)
+		for _, s := range steps {
+			req := make([]bool, n)
+			any := false
+			for i := 0; i < n; i++ {
+				req[i] = s&(1<<uint(i)) != 0
+				any = any || req[i]
+			}
+			g := m.Grant(req)
+			if any != (g != None) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstructorsPanic(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewRoundRobin(0) },
+		func() { NewPrioritized(0) },
+		func() { NewMatrix(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRoundRobin(3).Grant([]bool{true})
+}

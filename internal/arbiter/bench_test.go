@@ -1,0 +1,27 @@
+package arbiter
+
+import "testing"
+
+func BenchmarkRoundRobinGrant(b *testing.B) {
+	a := NewRoundRobin(25)
+	req := make([]bool, 25)
+	req[3], req[17] = true, true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Grant(req)
+	}
+}
+
+func BenchmarkPrioritizedGrant(b *testing.B) {
+	a := NewPrioritized(25)
+	req := make([]bool, 25)
+	prio := make([]int, 25)
+	for i := 0; i < 25; i += 3 {
+		req[i] = true
+		prio[i] = i % 2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Grant(req, prio)
+	}
+}

@@ -1,0 +1,118 @@
+// Package config defines the JSON experiment-file schema consumed by the
+// rairsim command: a simulation configuration, traffic description and run
+// phases in one document.
+package config
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"rair"
+)
+
+// File is one simulation description.
+//
+// Example:
+//
+//	{
+//	  "config":   {"layout": "halves", "scheme": "RA_RAIR", "seed": 7},
+//	  "apps":     [{"app": 0, "loadFrac": 0.1, "globalFrac": 0.5},
+//	               {"app": 1, "loadFrac": 0.9}],
+//	  "phases":   {"warmup": 10000, "measure": 100000, "drain": 20000}
+//	}
+type File struct {
+	Config rair.Config `json:"config"`
+	// Apps are synthetic applications; mutually exclusive with PARSEC.
+	Apps []App `json:"apps,omitempty"`
+	// PARSEC runs the PARSEC-proxy workloads over the memory system.
+	PARSEC bool `json:"parsec,omitempty"`
+	// AdversaryFlitRate adds chip-wide adversarial traffic (flits per
+	// node per cycle).
+	AdversaryFlitRate float64 `json:"adversaryFlitRate,omitempty"`
+	Phases            Phases  `json:"phases"`
+}
+
+// App mirrors rair.AppSpec with JSON tags.
+type App struct {
+	App           int     `json:"app"`
+	LoadFrac      float64 `json:"loadFrac,omitempty"`
+	PacketRate    float64 `json:"packetRate,omitempty"`
+	GlobalFrac    float64 `json:"globalFrac,omitempty"`
+	GlobalPattern string  `json:"globalPattern,omitempty"`
+	MCFrac        float64 `json:"mcFrac,omitempty"`
+}
+
+// Phases mirrors rair.Phases with JSON tags.
+type Phases struct {
+	Warmup  int64 `json:"warmup"`
+	Measure int64 `json:"measure"`
+	Drain   int64 `json:"drain"`
+}
+
+// Load reads and decodes a simulation file.
+func Load(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(raw)
+}
+
+// Parse decodes a simulation document, rejecting unknown fields so typos
+// fail loudly.
+func Parse(raw []byte) (*File, error) {
+	var f File
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	if f.PARSEC && len(f.Apps) > 0 {
+		return nil, fmt.Errorf("config: apps and parsec are mutually exclusive")
+	}
+	if !f.PARSEC && len(f.Apps) == 0 {
+		return nil, fmt.Errorf("config: no traffic (set apps or parsec)")
+	}
+	if f.Phases.Measure <= 0 {
+		return nil, fmt.Errorf("config: phases.measure must be positive")
+	}
+	return &f, nil
+}
+
+// Build constructs the configured simulation.
+func (f *File) Build() (*rair.Simulation, error) {
+	sim, err := rair.New(f.Config)
+	if err != nil {
+		return nil, err
+	}
+	if f.PARSEC {
+		if err := sim.AttachPARSEC(); err != nil {
+			return nil, err
+		}
+	}
+	for _, a := range f.Apps {
+		if err := sim.AddApp(rair.AppSpec{
+			App: a.App, LoadFrac: a.LoadFrac, PacketRate: a.PacketRate,
+			GlobalFrac: a.GlobalFrac, GlobalPattern: a.GlobalPattern, MCFrac: a.MCFrac,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if f.AdversaryFlitRate > 0 {
+		if err := sim.AddAdversary(f.AdversaryFlitRate); err != nil {
+			return nil, err
+		}
+	}
+	return sim, nil
+}
+
+// Run builds and executes the file's simulation.
+func (f *File) Run() (*rair.Report, error) {
+	sim, err := f.Build()
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(rair.Phases{Warmup: f.Phases.Warmup, Measure: f.Phases.Measure, Drain: f.Phases.Drain})
+}

@@ -1,0 +1,100 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sample = `{
+  "config": {"layout": "halves", "scheme": "RA_RAIR", "seed": 7},
+  "apps": [
+    {"app": 0, "loadFrac": 0.1, "globalFrac": 0.5},
+    {"app": 1, "loadFrac": 0.5}
+  ],
+  "phases": {"warmup": 200, "measure": 1000, "drain": 3000}
+}`
+
+func TestParseAndRun(t *testing.T) {
+	f, err := Parse([]byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Config.Layout != "halves" || len(f.Apps) != 2 {
+		t.Fatalf("parsed %+v", f)
+	}
+	rep, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Packets == 0 {
+		t.Fatal("no packets measured")
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := []string{
+		`{`, // invalid JSON
+		`{"config": {}, "phases": {"measure": 100}}`, // no traffic
+		`{"config": {}, "apps": [{"app":0,"loadFrac":0.1}], "parsec": true,
+		  "phases": {"measure": 100}}`, // both traffic kinds
+		`{"config": {}, "apps": [{"app":0,"loadFrac":0.1}], "phases": {"measure": 0}}`, // no window
+		`{"config": {}, "apps": [{"app":0,"loadFrac":0.1}], "typo": 1,
+		  "phases": {"measure": 100}}`, // unknown field
+	}
+	for i, c := range cases {
+		if _, err := Parse([]byte(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestBuildErrorsSurface(t *testing.T) {
+	f, err := Parse([]byte(`{
+	  "config": {"scheme": "NOPE"},
+	  "apps": [{"app": 0, "loadFrac": 0.1}],
+	  "phases": {"measure": 100}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Build(); err == nil {
+		t.Fatal("bad scheme accepted at build")
+	}
+}
+
+func TestLoadFromDisk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sim.json")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Phases.Measure != 1000 {
+		t.Fatalf("phases %+v", f.Phases)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestParsecFile(t *testing.T) {
+	f, err := Parse([]byte(`{
+	  "config": {"layout": "quadrants", "scheme": "RA_RAIR"},
+	  "parsec": true,
+	  "adversaryFlitRate": 0.1,
+	  "phases": {"warmup": 100, "measure": 500, "drain": 2000}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Packets == 0 {
+		t.Fatal("no packets")
+	}
+}

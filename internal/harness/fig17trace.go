@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"rair/internal/memsys"
+	"rair/internal/msg"
+	"rair/internal/network"
+	"rair/internal/stats"
+	"rair/internal/trace"
+	"rair/internal/traffic"
+	"rair/internal/workload"
+)
+
+// RecordPARSECTrace captures the PARSEC-proxy scenario's packet injections
+// over a neutral (RO_RR) network for the given horizon — the trace-capture
+// step of the paper's methodology (SIMICS+GEMS traces fed to GARNET).
+func RecordPARSECTrace(cycles int64, seed uint64) *trace.Trace {
+	regs, streams := PARSECScenario()
+	s := RORR()
+	cfg := MemsysRouterConfig()
+	var rec trace.Recorder
+	var sys *memsys.System
+	net := network.New(network.Params{
+		Router: cfg, Regions: regs,
+		Alg: s.Alg(regs.Mesh()), Sel: s.Sel(regs, cfg), Policy: s.Policy,
+		OnEject: func(p *msg.Packet, now int64) { sys.HandleEject(p, now) },
+	})
+	sys = memsys.New(memsys.DefaultSystemConfig(), regs, streams, seed,
+		func(node int, p *msg.Packet, now int64) {
+			rec.Capture(node, p, now)
+			net.NI(node).Inject(p, now)
+		})
+	sys.Prewarm(PrewarmAccesses)
+	for now := int64(0); now < cycles; now++ {
+		sys.Tick(now)
+		net.Tick(now)
+	}
+	rec.T.Sort()
+	return &rec.T
+}
+
+// TraceAdversaryFlitRate is the adversarial load for the trace-replay
+// variant, kept equal to the closed-loop experiment for comparability.
+// Replay is open-loop — recorded injections keep coming regardless of
+// congestion, with no MSHR backpressure — so queueing integrates over the
+// horizon and the *absolute* slowdowns are much larger and
+// window-dependent; the scheme comparison (who protects the applications)
+// is the meaningful output.
+const TraceAdversaryFlitRate = AdversaryFlitRate
+
+// ReplayPARSEC replays a captured trace under a scheme, with an optional
+// adversarial injector at advRate flits/node/cycle (0 = none), returning
+// the latency collector for the applications' packets. Unlike the
+// closed-loop RunPARSEC, replay holds the traffic identical across schemes
+// — the paper's trace-driven comparison.
+func ReplayPARSEC(t *trace.Trace, s Scheme, advRate float64, warmup int64, seed uint64) *stats.Collector {
+	regs, _ := PARSECScenario()
+	mesh := regs.Mesh()
+	cfg := MemsysRouterConfig()
+	col := stats.NewCollector(warmup, t.Duration())
+	net := network.New(network.Params{
+		Router: cfg, Regions: regs,
+		Alg: s.Alg(mesh), Sel: s.Sel(regs, cfg), Policy: s.Policy,
+		OnEject: func(p *msg.Packet, now int64) {
+			if p.App != AdversaryApp {
+				col.OnEject(p, now)
+			}
+		},
+	})
+	inject := func(node int, p *msg.Packet, now int64) { net.NI(node).Inject(p, now) }
+	player := trace.NewPlayer(t, inject)
+	var adv *traffic.Generator
+	if advRate > 0 {
+		app := traffic.Adversary(mesh, AdversaryApp, advRate/3)
+		adv = traffic.NewGenerator([]traffic.AppTraffic{app}, seed^0xadadad, inject)
+		adv.Until = t.Duration()
+	}
+	limit := t.Duration() + 100000
+	for now := int64(0); now < limit; now++ {
+		player.Tick(now)
+		if adv != nil {
+			adv.Tick(now)
+		}
+		net.Tick(now)
+		if player.Done() && (adv == nil || now >= t.Duration()) && net.Drained() {
+			break
+		}
+	}
+	return col
+}
+
+// Fig17Trace is the trace-driven variant of Figure 17: one PARSEC trace is
+// captured once and replayed identically under every scheme, with and
+// without the adversarial flood.
+func Fig17Trace(dur Durations, seed uint64) *Fig17Result {
+	t := RecordPARSECTrace(dur.Warmup+dur.Measure, seed)
+	schemes := fig17Schemes()
+	res := &Fig17Result{Title: "Figure 17 (trace-driven replay variant)"}
+	for _, p := range workload.Profiles() {
+		res.Apps = append(res.Apps, p.Name)
+	}
+	for _, s := range schemes {
+		res.Schemes = append(res.Schemes, s.Name)
+		base := ReplayPARSEC(t, s, 0, dur.Warmup, seed)
+		adv := ReplayPARSEC(t, s, TraceAdversaryFlitRate, dur.Warmup, seed)
+		bRow := make([]float64, len(res.Apps))
+		aRow := make([]float64, len(res.Apps))
+		for ai := range res.Apps {
+			bRow[ai] = base.App(ai).Mean()
+			aRow[ai] = adv.App(ai).Mean()
+		}
+		res.Base = append(res.Base, bRow)
+		res.Adv = append(res.Adv, aRow)
+	}
+	return res
+}

@@ -1,0 +1,355 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// testDur keeps test runs short; orderings are stable at this size.
+func testDur() Durations { return Durations{Warmup: 1000, Measure: 6000, Drain: 8000} }
+
+func TestSchemeByName(t *testing.T) {
+	for _, name := range []string{"RO_RR", "RO_Rank", "RA_DBAR", "RA_RAIR", "RAIR_DBAR", "RAIR_VA", "RAIR_NativeH", "RAIR_ForeignH"} {
+		s, err := SchemeByName(name)
+		if err != nil || s.Name != name {
+			t.Fatalf("SchemeByName(%q) = %+v, %v", name, s, err)
+		}
+		if s.Policy == nil {
+			t.Fatalf("%s has no policy", name)
+		}
+	}
+	if _, err := SchemeByName("nope"); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestDurations(t *testing.T) {
+	p := PaperDurations()
+	if p.Warmup != 10000 || p.Measure != 100000 {
+		t.Fatalf("paper durations %+v", p)
+	}
+	q := QuickDurations()
+	if q.Measure >= p.Measure {
+		t.Fatal("quick not quicker")
+	}
+}
+
+func TestRunParallelPreservesOrder(t *testing.T) {
+	regs, apps := UniformScenario(0.2)
+	regs2, apps2 := UniformScenario(0.9)
+	rcs := []RunConfig{
+		{Regions: regs, Router: synthCfg(), Apps: apps, Scheme: RORR(), Dur: testDur(), Seed: 1},
+		{Regions: regs2, Router: synthCfg(), Apps: apps2, Scheme: RORR(), Dur: testDur(), Seed: 1},
+	}
+	cols := RunParallel(rcs)
+	if len(cols) != 2 {
+		t.Fatal("missing collectors")
+	}
+	// The 90% run must be slower than the 20% run: order preserved.
+	if cols[0].APL() >= cols[1].APL() {
+		t.Fatalf("order not preserved: %.2f vs %.2f", cols[0].APL(), cols[1].APL())
+	}
+}
+
+func TestRunDeterministicAcrossParallel(t *testing.T) {
+	regs, apps := Fig9Scenario(0.5)
+	rc := RunConfig{Regions: regs, Router: synthCfg(), Apps: apps, Scheme: RAIR("RA_RAIR"), Dur: testDur(), Seed: 42}
+	a := Run(rc)
+	b := RunParallel([]RunConfig{rc, rc})
+	if a.APL() != b[0].APL() || b[0].APL() != b[1].APL() {
+		t.Fatalf("nondeterministic: %v %v %v", a.APL(), b[0].APL(), b[1].APL())
+	}
+}
+
+// Figure 9 shape: MSP cuts the low-intensity app's latency with little cost
+// to the heavy app, more so with MSP at both VA and SA, and latency grows
+// with the inter-region fraction.
+func TestFig9Shape(t *testing.T) {
+	res := Fig9MSP(testDur(), []float64{0, 1.0}, 1)
+	rr, va, vasa := res.APL[0], res.APL[1], res.APL[2]
+	// APL grows with p for every scheme.
+	if rr[1][0] <= rr[0][0] || vasa[1][0] <= vasa[0][0] {
+		t.Fatalf("App0 APL must grow with p: %v %v", rr, vasa)
+	}
+	// At p=100%, RAIR VA+SA helps App0 more than VA-only; both beat RO_RR.
+	if !(vasa[1][0] < va[1][0] && va[1][0] < rr[1][0]) {
+		t.Fatalf("App0 APL ordering wrong: RO_RR %.2f, VA %.2f, VA+SA %.2f",
+			rr[1][0], va[1][0], vasa[1][0])
+	}
+	// App1 pays less than 5%.
+	if vasa[1][1] > rr[1][1]*1.05 {
+		t.Fatalf("App1 penalty too high: %.2f vs %.2f", vasa[1][1], rr[1][1])
+	}
+}
+
+// Figure 12 shape: ForeignH wins scenario (a), NativeH wins scenario (b),
+// and DPA tracks the winner in both.
+func TestFig12Shape(t *testing.T) {
+	a := Fig12DPA(Fig12A, testDur(), 1)
+	// Schemes: RO_RR, NativeH, ForeignH, DPA.
+	if !(a.AvgReduction(2) > a.AvgReduction(1)) {
+		t.Fatalf("(a): ForeignH %.3f must beat NativeH %.3f", a.AvgReduction(2), a.AvgReduction(1))
+	}
+	if a.AvgReduction(3) < a.AvgReduction(2)-0.03 {
+		t.Fatalf("(a): DPA %.3f must track ForeignH %.3f", a.AvgReduction(3), a.AvgReduction(2))
+	}
+	b := Fig12DPA(Fig12B, testDur(), 1)
+	if !(b.AvgReduction(1) > b.AvgReduction(2)) {
+		t.Fatalf("(b): NativeH %.3f must beat ForeignH %.3f", b.AvgReduction(1), b.AvgReduction(2))
+	}
+	if b.AvgReduction(3) < b.AvgReduction(2) {
+		t.Fatalf("(b): DPA %.3f must beat the losing static mode %.3f", b.AvgReduction(3), b.AvgReduction(2))
+	}
+}
+
+// Figure 14 shape: RAIR improves every low/medium-load application over
+// RO_RR while the heavy apps pay only a bounded cost.
+func TestFig14Shape(t *testing.T) {
+	res := Fig14SixApp(testDur(), 1)
+	rairIdx := len(res.Schemes) - 1
+	for ai, app := range res.Apps {
+		if app == 1 || app == 5 { // heavy apps: bounded cost
+			if res.Reduction(rairIdx, ai) < -0.10 {
+				t.Errorf("hot app %d degrades too much: %+.1f%%", app, 100*res.Reduction(rairIdx, ai))
+			}
+			continue
+		}
+		if res.Reduction(rairIdx, ai) <= 0 {
+			t.Errorf("low app %d not improved: %+.1f%%", app, 100*res.Reduction(rairIdx, ai))
+		}
+	}
+}
+
+// Figure 17 shape: RAIR protects the applications from adversarial traffic
+// better than the round-robin baseline.
+func TestFig17Shape(t *testing.T) {
+	res := Fig17Adversarial(testDur(), 1)
+	if !(res.AvgSlowdown(3) < res.AvgSlowdown(0)) {
+		t.Fatalf("RAIR slowdown %.2f must beat RO_RR %.2f", res.AvgSlowdown(3), res.AvgSlowdown(0))
+	}
+	for si := range res.Schemes {
+		if res.AvgSlowdown(si) < 1 {
+			t.Errorf("%s slowdown %.2f below 1: adversary helped?", res.Schemes[si], res.AvgSlowdown(si))
+		}
+	}
+	if s := res.String(); !strings.Contains(s, "RA_RAIR") {
+		t.Fatal("summary string incomplete")
+	}
+}
+
+func TestScenarioConstruction(t *testing.T) {
+	regs, apps := Fig9Scenario(0.5)
+	if regs.NumApps() != 2 || len(apps) != 2 {
+		t.Fatal("Fig9 scenario wrong")
+	}
+	if apps[0].PacketRate <= 0 || apps[1].PacketRate <= apps[0].PacketRate {
+		t.Fatalf("rates wrong: %v %v", apps[0].PacketRate, apps[1].PacketRate)
+	}
+	for _, v := range []Fig12Variant{Fig12A, Fig12B} {
+		regs, apps = Fig12Scenario(v)
+		if regs.NumApps() != 4 || len(apps) != 4 {
+			t.Fatal("Fig12 scenario wrong")
+		}
+	}
+	regs, apps = Fig14Scenario("HS")
+	if regs.NumApps() != 6 || len(apps) != 6 {
+		t.Fatal("Fig14 scenario wrong")
+	}
+	ranks := SixAppRanks()
+	if ranks[0] != 0 || ranks[1] < 4 || ranks[5] < 4 {
+		t.Fatalf("six-app ranks wrong: %v", ranks)
+	}
+	regsP, streams := PARSECScenario()
+	if regsP.NumApps() != 4 || len(streams) != 64 {
+		t.Fatal("PARSEC scenario wrong")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "T", Header: []string{"a", "b"}}
+	tab.AddRow("x", "1.00")
+	tab.AddRow("longer", "2.00")
+	s := tab.String()
+	if !strings.Contains(s, "T\n") || !strings.Contains(s, "longer") {
+		t.Fatalf("table:\n%s", s)
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "a,b\n") || !strings.Contains(csv, "longer,2.00") {
+		t.Fatalf("csv:\n%s", csv)
+	}
+	tab.AddRow(`quo"te`, "with,comma")
+	if !strings.Contains(tab.CSV(), `"quo""te","with,comma"`) {
+		t.Fatalf("csv quoting:\n%s", tab.CSV())
+	}
+}
+
+func TestResultTables(t *testing.T) {
+	res := Fig9MSP(Durations{Warmup: 200, Measure: 1500, Drain: 3000}, []float64{0.5}, 1)
+	if s := res.Table().String(); !strings.Contains(s, "RAIR_VA+SA") {
+		t.Fatalf("sweep table:\n%s", s)
+	}
+	fig := Fig12DPA(Fig12A, Durations{Warmup: 200, Measure: 1500, Drain: 3000}, 1)
+	if s := fig.Table().String(); !strings.Contains(s, "avg reduction") {
+		t.Fatalf("fig table:\n%s", s)
+	}
+}
+
+func TestLatencyLoadCurveMonotone(t *testing.T) {
+	pts := LatencyLoadCurve([]float64{0.2, 0.9}, testDur(), 1)
+	if len(pts) != 2 {
+		t.Fatal("missing points")
+	}
+	if pts[1].APL <= pts[0].APL {
+		t.Fatalf("APL must grow with load: %v", pts)
+	}
+	if pts[1].Throughput <= pts[0].Throughput {
+		t.Fatalf("throughput must grow below saturation: %v", pts)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	d := AblateDelta([]float64{0, 0.2}, Durations{Warmup: 500, Measure: 2500, Drain: 4000}, 1)
+	if len(d.AvgReduction) != 2 {
+		t.Fatal("delta ablation size")
+	}
+	if s := d.Table().String(); !strings.Contains(s, "0.20") {
+		t.Fatalf("delta table:\n%s", s)
+	}
+	v := AblateVCSplit([]int{1, 3}, Durations{Warmup: 500, Measure: 2500, Drain: 4000}, 1)
+	if len(v.AvgReduction) != 2 {
+		t.Fatal("vc split ablation size")
+	}
+	if s := v.Table().String(); !strings.Contains(s, "regional VCs") {
+		t.Fatalf("vc split table:\n%s", s)
+	}
+}
+
+func TestScaleStudies(t *testing.T) {
+	dur := Durations{Warmup: 500, Measure: 2500, Drain: 5000}
+	cores := ScaleCores(dur, 1)
+	if len(cores.Points) != 4 || cores.Points[0].Nodes != 16 || cores.Points[3].Nodes != 256 {
+		t.Fatalf("scale-cores points: %+v", cores.Points)
+	}
+	regions := ScaleRegions(dur, 1)
+	if len(regions.Points) != 4 || regions.Points[3].Regions != 16 {
+		t.Fatalf("scale-regions points: %+v", regions.Points)
+	}
+	for _, p := range regions.Points {
+		if p.RORRAPL <= 0 || p.RAIRAPL <= 0 {
+			t.Fatalf("empty measurement at %s", p.Label)
+		}
+	}
+	if s := cores.Table().String(); !strings.Contains(s, "16x16") {
+		t.Fatalf("table:\n%s", s)
+	}
+}
+
+func TestHeatmapDriver(t *testing.T) {
+	out, err := Heatmap("RO_RR", Durations{Warmup: 200, Measure: 1500, Drain: 0}, 1)
+	if err != nil || !strings.Contains(out, "utilization") {
+		t.Fatalf("heatmap: %v\n%s", err, out)
+	}
+	if _, err := Heatmap("NOPE", QuickDurations(), 1); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestFig17TraceReplay(t *testing.T) {
+	dur := Durations{Warmup: 1000, Measure: 5000, Drain: 5000}
+	res := Fig17Trace(dur, 1)
+	if len(res.Schemes) != 4 || len(res.Apps) != 4 {
+		t.Fatalf("shape: %v %v", res.Schemes, res.Apps)
+	}
+	for si := range res.Schemes {
+		for ai := range res.Apps {
+			if res.Base[si][ai] <= 0 || res.Adv[si][ai] <= 0 {
+				t.Fatalf("empty measurement %s/%s", res.Schemes[si], res.Apps[ai])
+			}
+		}
+		if res.AvgSlowdown(si) < 0.9 {
+			t.Fatalf("%s slowdown %.2f implausible", res.Schemes[si], res.AvgSlowdown(si))
+		}
+	}
+	if !strings.Contains(res.Table().String(), "trace-driven") {
+		t.Fatal("title missing")
+	}
+}
+
+func TestRecordPARSECTraceValid(t *testing.T) {
+	tr := RecordPARSECTrace(3000, 1)
+	if tr.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+	if err := tr.Validate(64); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCharacterizeWorkloads(t *testing.T) {
+	res := CharacterizeWorkloads(30000, 1)
+	if len(res.Rows) != 13 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	byName := map[string]WorkloadRow{}
+	for _, r := range res.Rows {
+		if r.IssueRate <= 0 || r.MissFlux <= 0 || r.FlitDemand != r.MissFlux*6 {
+			t.Fatalf("bad row %+v", r)
+		}
+		byName[r.Name] = r
+	}
+	// The paper's headline ordering must hold in the full suite too.
+	if !(byName["blackscholes"].MissFlux < byName["swaptions"].MissFlux &&
+		byName["swaptions"].MissFlux < byName["fluidanimate"].MissFlux &&
+		byName["fluidanimate"].MissFlux < byName["raytrace"].MissFlux) {
+		t.Fatal("headline intensity ordering broken")
+	}
+	if !strings.Contains(res.Table().String(), "canneal") {
+		t.Fatal("table incomplete")
+	}
+}
+
+func TestRankOracleAblation(t *testing.T) {
+	res := AblateRankOracle(Durations{Warmup: 500, Measure: 3000, Drain: 5000}, 1)
+	if len(res.APL) != 3 || len(res.Apps) != 6 {
+		t.Fatalf("shape %dx%d", len(res.APL), len(res.Apps))
+	}
+	for vi := range res.APL {
+		for ai := range res.Apps {
+			if res.APL[vi][ai] <= 0 {
+				t.Fatalf("empty APL at %d/%d", vi, ai)
+			}
+		}
+	}
+	if s := res.Table().String(); !strings.Contains(s, "RO_RankDyn") {
+		t.Fatalf("table:\n%s", s)
+	}
+}
+
+func TestInterferenceMatrix(t *testing.T) {
+	m, err := MeasureInterference("RO_RR", Durations{Warmup: 500, Measure: 3000, Drain: 5000}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Apps) != 6 || len(m.Slowdown) != 6 {
+		t.Fatalf("matrix shape %dx%d", len(m.Apps), len(m.Slowdown))
+	}
+	for vi := range m.Apps {
+		if m.Slowdown[vi][vi] != 0 {
+			t.Fatal("diagonal must be empty")
+		}
+		for ci := range m.Apps {
+			if vi != ci && (m.Slowdown[vi][ci] < 0.5 || m.Slowdown[vi][ci] > 10) {
+				t.Fatalf("implausible slowdown %v at (%d,%d)", m.Slowdown[vi][ci], vi, ci)
+			}
+		}
+	}
+	if m.MaxOffDiagonal() <= 1.0 {
+		t.Fatalf("no interference detected at all: max %v", m.MaxOffDiagonal())
+	}
+	if s := m.Table().String(); !strings.Contains(s, "victim") {
+		t.Fatalf("table:\n%s", s)
+	}
+	if _, err := MeasureInterference("NOPE", QuickDurations(), 1); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}

@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"fmt"
+
+	"rair/internal/stats"
+	"rair/internal/traffic"
+)
+
+// InterferenceMatrix quantifies pairwise interference in the
+// six-application scenario by leave-one-out runs: entry (victim, culprit)
+// is the victim's APL slowdown attributable to the culprit's presence
+// (APL with everyone ÷ APL with the culprit removed). The diagonal is
+// empty. This is the quantity interference-reduction exists to manage;
+// comparing the matrix under RO_RR and RA_RAIR shows where RAIR removes
+// coupling.
+type InterferenceMatrix struct {
+	Scheme string
+	Apps   []int
+	// Slowdown[victim][culprit]; 0 on the diagonal.
+	Slowdown [][]float64
+}
+
+// Table renders the matrix.
+func (m *InterferenceMatrix) Table() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Pairwise interference under %s (victim rows, culprit columns; APL slowdown)", m.Scheme),
+		Header: []string{"victim \\ culprit"},
+	}
+	for _, a := range m.Apps {
+		t.Header = append(t.Header, fmt.Sprintf("app%d", a))
+	}
+	for vi, v := range m.Apps {
+		row := []string{fmt.Sprintf("app%d", v)}
+		for ci := range m.Apps {
+			if vi == ci {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, f2(m.Slowdown[vi][ci]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// MaxOffDiagonal reports the strongest pairwise coupling.
+func (m *InterferenceMatrix) MaxOffDiagonal() float64 {
+	max := 0.0
+	for vi := range m.Apps {
+		for ci := range m.Apps {
+			if vi != ci && m.Slowdown[vi][ci] > max {
+				max = m.Slowdown[vi][ci]
+			}
+		}
+	}
+	return max
+}
+
+// MeasureInterference builds the leave-one-out interference matrix of the
+// six-application scenario under the named scheme.
+func MeasureInterference(schemeName string, dur Durations, seed uint64) (*InterferenceMatrix, error) {
+	s, err := SchemeByName(schemeName)
+	if err != nil {
+		return nil, err
+	}
+	regs, apps := Fig14Scenario("UR")
+	n := len(apps)
+
+	// Full run plus one run per removed culprit, all in parallel.
+	rcs := make([]RunConfig, 0, n+1)
+	rcs = append(rcs, RunConfig{Regions: regs, Router: synthCfg(), Apps: apps, Scheme: s, Dur: dur, Seed: seed})
+	for culprit := 0; culprit < n; culprit++ {
+		reduced := make([]traffic.AppTraffic, 0, n-1)
+		for i, a := range apps {
+			if i != culprit {
+				reduced = append(reduced, a)
+			}
+		}
+		rcs = append(rcs, RunConfig{Regions: regs, Router: synthCfg(), Apps: reduced, Scheme: s, Dur: dur, Seed: seed})
+	}
+	cols := RunParallel(rcs)
+
+	m := &InterferenceMatrix{Scheme: s.Name}
+	for i := range apps {
+		m.Apps = append(m.Apps, apps[i].App)
+	}
+	full := cols[0]
+	m.Slowdown = make([][]float64, n)
+	for vi := range m.Apps {
+		m.Slowdown[vi] = make([]float64, n)
+		for ci := range m.Apps {
+			if vi == ci {
+				continue
+			}
+			without := cols[ci+1]
+			m.Slowdown[vi][ci] = stats.Slowdown(without.App(m.Apps[vi]).Mean(), full.App(m.Apps[vi]).Mean())
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,94 @@
+// Package harness configures and runs the paper's experiments: it builds
+// scenarios (region layouts + per-application traffic at fractions of
+// saturation), runs each (scheme × scenario) simulation on its own
+// goroutine, and collects the per-figure tables reported in EXPERIMENTS.md.
+package harness
+
+import (
+	"runtime"
+	"sync"
+
+	"rair/internal/msg"
+	"rair/internal/network"
+	"rair/internal/region"
+	"rair/internal/router"
+	"rair/internal/sim"
+	"rair/internal/stats"
+	"rair/internal/traffic"
+)
+
+// Durations holds the simulation phases in cycles. The paper warms up for
+// 10K cycles and measures over 100K; Quick returns a shorter setting for
+// tests and smoke runs.
+type Durations struct {
+	Warmup  int64
+	Measure int64
+	// Drain bounds the post-measurement drain phase; measured packets
+	// still in flight when it expires are simply not counted.
+	Drain int64
+}
+
+// PaperDurations is the evaluation setting of Section V.A.
+func PaperDurations() Durations { return Durations{Warmup: 10000, Measure: 100000, Drain: 20000} }
+
+// QuickDurations is a reduced setting for tests and benchmarks; latency
+// averages are noisier but ordering-stable.
+func QuickDurations() Durations { return Durations{Warmup: 2000, Measure: 10000, Drain: 10000} }
+
+// RunConfig is one simulation point.
+type RunConfig struct {
+	Regions *region.Map
+	Router  router.Config
+	Apps    []traffic.AppTraffic
+	Scheme  Scheme
+	Dur     Durations
+	Seed    uint64
+}
+
+// Run executes one simulation point and returns its statistics collector.
+func Run(rc RunConfig) *stats.Collector {
+	col := stats.NewCollector(rc.Dur.Warmup, rc.Dur.Warmup+rc.Dur.Measure)
+	mesh := rc.Regions.Mesh()
+	net := network.New(network.Params{
+		Router:  rc.Router,
+		Regions: rc.Regions,
+		Alg:     rc.Scheme.Alg(mesh),
+		Sel:     rc.Scheme.Sel(rc.Regions, rc.Router),
+		Policy:  rc.Scheme.Policy,
+		OnEject: col.OnEject,
+	})
+	gen := traffic.NewGenerator(rc.Apps, rc.Seed, func(node int, p *msg.Packet, now int64) {
+		net.NI(node).Inject(p, now)
+	})
+	end := rc.Dur.Warmup + rc.Dur.Measure
+	gen.Until = end
+
+	eng := sim.NewEngine()
+	eng.Register(gen)
+	eng.Register(net)
+	eng.Run(end)
+	// Drain: the generator self-stops at Until, so ticking it is a no-op.
+	eng.RunUntil(net.Drained, rc.Dur.Drain)
+	return col
+}
+
+// RunParallel executes every configuration concurrently (bounded by CPU
+// count) and returns collectors in input order. Each simulation is fully
+// independent and internally single-threaded, so results are identical to a
+// serial run.
+func RunParallel(rcs []RunConfig) []*stats.Collector {
+	out := make([]*stats.Collector, len(rcs))
+	sem := make(chan struct{}, runtime.NumCPU())
+	var wg sync.WaitGroup
+	for i := range rcs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i] = Run(rcs[i])
+		}(i)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,28 @@
+package memsys
+
+import "testing"
+
+func BenchmarkCacheAccessHit(b *testing.B) {
+	c := NewCache(32<<10, 2, 64)
+	c.Access(0x1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0x1000)
+	}
+}
+
+func BenchmarkCacheAccessStream(b *testing.B) {
+	c := NewCache(32<<10, 2, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i) * 64)
+	}
+}
+
+func BenchmarkL2Bank16Way(b *testing.B) {
+	c := NewCache(256<<10, 16, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i%8192) * 64)
+	}
+}

@@ -1,0 +1,159 @@
+// Package msg defines the units of communication in the network: packets and
+// the flits they are serialized into, together with the message-class and
+// traffic-kind vocabulary used by the interference-reduction policies.
+package msg
+
+import "fmt"
+
+// Class distinguishes protocol message classes. Classes have disjoint VC
+// sets (Duato's methodology for protocol-level deadlock freedom): requests
+// and responses never share VCs.
+type Class int
+
+const (
+	// ClassRequest carries cache requests (short, 1 flit / 16 B).
+	ClassRequest Class = iota
+	// ClassResponse carries data replies (long, 5 flits: head + 64 B).
+	ClassResponse
+	// NumClasses is the number of message classes modeled.
+	NumClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassRequest:
+		return "Request"
+	case ClassResponse:
+		return "Response"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Flit sizes used by the evaluation: short packets are 16 B single-flit,
+// long packets carry 64 B of data plus a head flit (5 flits at 128-bit links).
+const (
+	ShortPacketFlits = 1
+	LongPacketFlits  = 5
+)
+
+// Packet is a network packet. Flits reference their packet; per-packet
+// fields are written once at creation and treated as read-only afterwards,
+// except the latency bookkeeping stamps set by the network.
+type Packet struct {
+	ID  uint64
+	App int // application number carried by the packet (RAIR tags)
+	Src int // source node id
+	Dst int // destination node id
+
+	Class Class
+	Size  int // flits, including head
+
+	// Global reports whether the packet crosses a region boundary
+	// (inter-region, "global traffic"); packets inside their source's
+	// region are "regional traffic". Precomputed at creation from the
+	// region map, since src/dst regions never change in flight.
+	Global bool
+
+	// CreatedAt is the cycle the packet entered its source queue.
+	// InjectedAt is the cycle its head flit entered the network (left the
+	// NI). EjectedAt is the cycle its tail flit was consumed at the
+	// destination; -1 while in flight.
+	CreatedAt  int64
+	InjectedAt int64
+	EjectedAt  int64
+
+	// Hops counts router traversals, filled in by the network.
+	Hops int
+
+	// BatchID is the STC-style batch the packet belongs to (set at
+	// injection by policies that batch; zero otherwise).
+	BatchID int64
+
+	// Payload carries protocol-level content (e.g. the memory system's
+	// request descriptors). The network never inspects it.
+	Payload any
+}
+
+// TotalLatency is the queueing-inclusive packet latency, defined only after
+// ejection.
+func (p *Packet) TotalLatency() int64 { return p.EjectedAt - p.CreatedAt }
+
+// NetworkLatency is the in-network latency (injection to ejection).
+func (p *Packet) NetworkLatency() int64 { return p.EjectedAt - p.InjectedAt }
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt#%d app%d %d->%d %v size=%d", p.ID, p.App, p.Src, p.Dst, p.Class, p.Size)
+}
+
+// FlitType marks a flit's position in its packet.
+type FlitType uint8
+
+const (
+	// Head starts a packet and carries routing state.
+	Head FlitType = iota
+	// Body is an interior flit.
+	Body
+	// Tail ends a packet and releases its VCs.
+	Tail
+	// HeadTail is a single-flit packet.
+	HeadTail
+)
+
+func (t FlitType) String() string {
+	switch t {
+	case Head:
+		return "Head"
+	case Body:
+		return "Body"
+	case Tail:
+		return "Tail"
+	case HeadTail:
+		return "HeadTail"
+	}
+	return fmt.Sprintf("FlitType(%d)", int(t))
+}
+
+// IsHead reports whether the flit opens a packet.
+func (t FlitType) IsHead() bool { return t == Head || t == HeadTail }
+
+// IsTail reports whether the flit closes a packet.
+func (t FlitType) IsTail() bool { return t == Tail || t == HeadTail }
+
+// Flit is the flow-control unit. VC is the virtual channel the flit occupies
+// on the link it is currently traversing; it is rewritten at every hop by
+// the upstream VC allocator.
+type Flit struct {
+	Pkt  *Packet
+	Type FlitType
+	Seq  int // 0-based position within the packet
+	VC   int
+}
+
+// Flits serializes a packet into its flit sequence (VC unassigned).
+func Flits(p *Packet) []Flit {
+	if p.Size < 1 {
+		panic("msg: packet with no flits")
+	}
+	fs := make([]Flit, p.Size)
+	for i := range fs {
+		t := Body
+		switch {
+		case p.Size == 1:
+			t = HeadTail
+		case i == 0:
+			t = Head
+		case i == p.Size-1:
+			t = Tail
+		}
+		fs[i] = Flit{Pkt: p, Type: t, Seq: i}
+	}
+	return fs
+}
+
+// SizeFor returns the canonical packet size for a message class.
+func SizeFor(c Class) int {
+	if c == ClassResponse {
+		return LongPacketFlits
+	}
+	return ShortPacketFlits
+}

@@ -1,0 +1,55 @@
+package network
+
+import (
+	"testing"
+
+	"rair/internal/core"
+	"rair/internal/msg"
+	"rair/internal/region"
+	"rair/internal/router"
+	"rair/internal/routing"
+	"rair/internal/sim"
+	"rair/internal/topology"
+)
+
+// BenchmarkNetworkTick measures raw cycle throughput of a loaded 8x8 mesh
+// under RAIR (the simulator's core inner loop).
+func BenchmarkNetworkTick(b *testing.B) {
+	regions := region.Quadrants(topology.NewMesh(8, 8))
+	n := New(Params{
+		Router:  router.DefaultConfig(1),
+		Regions: regions,
+		Alg:     routing.MinimalAdaptive{Mesh: regions.Mesh()},
+		Sel:     routing.LocalSelector{},
+		Policy:  core.NewFactory(core.Config{}),
+	})
+	rng := sim.NewRNG(1)
+	var id uint64
+	var c int64
+	// Pre-load to steady state.
+	for ; c < 500; c++ {
+		inject(n, regions, rng, &id, c)
+		n.Tick(c)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inject(n, regions, rng, &id, c)
+		n.Tick(c)
+		c++
+	}
+}
+
+func inject(n *Network, regions *region.Map, rng *sim.RNG, id *uint64, c int64) {
+	for node := 0; node < 64; node++ {
+		if !rng.Bool(0.05) {
+			continue
+		}
+		dst := rng.Intn(64)
+		if dst == node {
+			continue
+		}
+		*id++
+		n.NI(node).Inject(&msg.Packet{ID: *id, App: regions.AppAt(node),
+			Src: node, Dst: dst, Size: 1 + 4*rng.Intn(2), Class: msg.ClassRequest}, c)
+	}
+}

@@ -1,0 +1,250 @@
+// Package network assembles routers, network interfaces and links into a
+// complete mesh NoC and advances them cycle by cycle. All inter-component
+// communication goes through links that are shifted once per cycle before
+// any component ticks, so results are independent of iteration order.
+//
+// The network also runs the systolic congestion propagation DBAR relies on:
+// each cycle a router learns its neighbor's occupancy (one cycle old) and
+// the neighbor's view of the routers beyond it (one more cycle old per
+// hop).
+package network
+
+import (
+	"fmt"
+
+	"rair/internal/msg"
+	"rair/internal/policy"
+	"rair/internal/region"
+	"rair/internal/router"
+	"rair/internal/routing"
+	"rair/internal/topology"
+)
+
+// Params configures a network build.
+type Params struct {
+	// Router is the microarchitecture configuration shared by all nodes.
+	Router router.Config
+	// Regions assigns applications to nodes (also provides the mesh).
+	Regions *region.Map
+	// Alg is the routing algorithm; Sel the selection function used when
+	// the algorithm returns several candidates.
+	Alg routing.Algorithm
+	Sel routing.Selector
+	// Policy builds the per-router interference-reduction policy.
+	Policy policy.Factory
+	// OnEject, if non-nil, observes every delivered packet.
+	OnEject func(*msg.Packet, int64)
+}
+
+type flitBinding struct {
+	link          *router.Link
+	deliverFlit   func(f msg.Flit, now int64)
+	deliverCredit func(vc int)
+}
+
+// Network is a fully wired mesh NoC.
+type Network struct {
+	params   Params
+	mesh     *topology.Mesh
+	routers  []*router.Router
+	nis      []*router.NI
+	bindings []flitBinding
+	now      int64
+}
+
+// New builds and wires the network.
+func New(p Params) *Network {
+	if err := p.Router.Validate(); err != nil {
+		panic(err)
+	}
+	if p.Regions == nil || p.Alg == nil || p.Sel == nil || p.Policy == nil {
+		panic("network: incomplete params")
+	}
+	mesh := p.Regions.Mesh()
+	n := &Network{
+		params:  p,
+		mesh:    mesh,
+		routers: make([]*router.Router, mesh.N()),
+		nis:     make([]*router.NI, mesh.N()),
+	}
+	for id := 0; id < mesh.N(); id++ {
+		app := p.Regions.AppAt(id)
+		n.routers[id] = router.New(p.Router, id, app, mesh, p.Regions, p.Alg, p.Sel, p.Policy(id, app))
+	}
+	// Inter-router links (one per direction per adjacent pair).
+	for id := 0; id < mesh.N(); id++ {
+		for _, d := range []topology.Dir{topology.East, topology.South} {
+			nb := mesh.Neighbor(id, d)
+			if nb == -1 {
+				continue
+			}
+			n.wire(n.routers[id], d, n.routers[nb])
+			n.wire(n.routers[nb], d.Opposite(), n.routers[id])
+		}
+	}
+	// NI links.
+	for id := 0; id < mesh.N(); id++ {
+		r := n.routers[id]
+		inj := router.NewLink(p.Router.LinkLatency)
+		ej := router.NewLink(p.Router.LinkLatency)
+		ni := router.NewNI(p.Router, id, p.Regions, inj, ej, p.OnEject)
+		n.nis[id] = ni
+		r.ConnectIn(topology.Local, inj)
+		r.ConnectOut(topology.Local, ej)
+		rr := r
+		n.bindings = append(n.bindings,
+			flitBinding{
+				link:          inj,
+				deliverFlit:   func(f msg.Flit, _ int64) { rr.DeliverFlit(topology.Local, f) },
+				deliverCredit: ni.DeliverCredit,
+			},
+			flitBinding{
+				link:          ej,
+				deliverFlit:   ni.DeliverFlit,
+				deliverCredit: func(vc int) { rr.DeliverCredit(topology.Local, vc) },
+			},
+		)
+	}
+	return n
+}
+
+// wire connects src's output port at dir to dst's opposite input port.
+func (n *Network) wire(src *router.Router, dir topology.Dir, dst *router.Router) {
+	l := router.NewLink(n.params.Router.LinkLatency)
+	src.ConnectOut(dir, l)
+	dst.ConnectIn(dir.Opposite(), l)
+	in := dir.Opposite()
+	n.bindings = append(n.bindings, flitBinding{
+		link:          l,
+		deliverFlit:   func(f msg.Flit, _ int64) { dst.DeliverFlit(in, f) },
+		deliverCredit: func(vc int) { src.DeliverCredit(dir, vc) },
+	})
+}
+
+// Mesh returns the topology.
+func (n *Network) Mesh() *topology.Mesh { return n.mesh }
+
+// Regions returns the region map.
+func (n *Network) Regions() *region.Map { return n.params.Regions }
+
+// NI returns node's network interface.
+func (n *Network) NI(node int) *router.NI { return n.nis[node] }
+
+// Router returns node's router.
+func (n *Network) Router(node int) *router.Router { return n.routers[node] }
+
+// Now reports the cycle of the last Tick.
+func (n *Network) Now() int64 { return n.now }
+
+// Tick advances the whole network one cycle.
+func (n *Network) Tick(now int64) {
+	n.now = now
+	// Phase 1: links deliver.
+	for _, b := range n.bindings {
+		f, fOK, credit, cOK := b.link.Shift()
+		if fOK {
+			b.deliverFlit(f, now)
+		}
+		if cOK {
+			b.deliverCredit(credit)
+		}
+	}
+	// Phase 2: routers and NIs compute.
+	for _, r := range n.routers {
+		r.Tick(now)
+	}
+	for _, ni := range n.nis {
+		ni.Tick(now)
+	}
+	// Phase 3: propagate congestion one hop.
+	n.propagateCongestion()
+}
+
+func (n *Network) propagateCongestion() {
+	for id, r := range n.routers {
+		for d := topology.North; d < topology.NumDirs; d++ {
+			next := r.CongNextRow(d)
+			nb := n.mesh.Neighbor(id, d)
+			if nb == -1 {
+				for k := range next {
+					next[k] = 0
+				}
+				continue
+			}
+			nr := n.routers[nb]
+			next[0] = nr.InPortOccupancy(d)
+			prev := nr.CongRow(d)
+			copy(next[1:], prev[:len(next)-1])
+		}
+	}
+	for _, r := range n.routers {
+		r.SwapCong()
+	}
+}
+
+// InFlight reports packets created but not yet ejected, network-wide.
+func (n *Network) InFlight() int64 {
+	var created, ejected int64
+	for _, ni := range n.nis {
+		created += ni.Created()
+		ejected += ni.Ejected()
+	}
+	return created - ejected
+}
+
+// BufferedFlits reports flits resident in router buffers and ST registers.
+func (n *Network) BufferedFlits() int {
+	total := 0
+	for _, r := range n.routers {
+		total += r.BufferedFlits()
+	}
+	return total
+}
+
+// Drained reports whether nothing is queued, buffered or in flight.
+func (n *Network) Drained() bool {
+	if n.InFlight() != 0 {
+		return false
+	}
+	for _, b := range n.bindings {
+		if b.link.Busy() {
+			return false
+		}
+	}
+	return n.BufferedFlits() == 0
+}
+
+// StuckPacket returns a packet that has been inside the network for more
+// than limit cycles (a deadlock/starvation watchdog), or nil.
+func (n *Network) StuckPacket(now, limit int64) *msg.Packet {
+	for _, r := range n.routers {
+		if p := r.OldestOwner(); p != nil && p.InjectedAt >= 0 && now-p.InjectedAt > limit {
+			return p
+		}
+	}
+	return nil
+}
+
+// FlitConservation reports material accounted for inside the network
+// (flits buffered in routers or ST registers, plus busy links, which carry
+// at least one flit or credit each) alongside the in-flight packet count
+// (created but not ejected, network-wide). The invariant tests rely on:
+// whenever in-flight packets are zero, everything inside must be zero too —
+// anything else means flits were lost, duplicated, or stranded.
+func (n *Network) FlitConservation() (inside, inflightPackets int64) {
+	inside = int64(n.BufferedFlits())
+	for _, b := range n.bindings {
+		if b.link.Busy() {
+			inside++
+		}
+	}
+	return inside, n.InFlight()
+}
+
+// CheckDrained panics with diagnostics if the network failed to drain; used
+// by tests and the harness after a drain phase.
+func (n *Network) CheckDrained() {
+	if !n.Drained() {
+		panic(fmt.Sprintf("network: failed to drain: inflight=%d buffered=%d", n.InFlight(), n.BufferedFlits()))
+	}
+}

@@ -1,0 +1,85 @@
+package region
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// LBDRValidFraction computes the fraction of application-to-core mappings
+// that the restricted LBDR technique permits, reproducing the in-text
+// calculation of Section III.B: with LBDR, every region must contain at
+// least one memory controller, which with 16 cores, 4 MCs and 4 apps of 4
+// threads admits only ≈14% of all mappings.
+//
+// cores is the total core count, mcs the number of cores hosting a memory
+// controller, apps the number of applications and threads the region size
+// (threads per application). Applications are labeled; mappings draw each
+// application's threads in turn from the remaining cores, exactly as the
+// paper's formula does. apps*threads must not exceed cores, and mcs must not
+// exceed cores.
+func LBDRValidFraction(cores, mcs, apps, threads int) (*big.Rat, error) {
+	switch {
+	case cores < 1 || mcs < 0 || apps < 1 || threads < 1:
+		return nil, fmt.Errorf("region: invalid parameters cores=%d mcs=%d apps=%d threads=%d", cores, mcs, apps, threads)
+	case apps*threads > cores:
+		return nil, fmt.Errorf("region: %d apps x %d threads exceed %d cores", apps, threads, cores)
+	case mcs > cores:
+		return nil, fmt.Errorf("region: %d MCs exceed %d cores", mcs, cores)
+	}
+
+	// Denominator: all ordered placements, C(cores,T)*C(cores-T,T)*...
+	denom := big.NewInt(1)
+	rem := cores
+	for i := 0; i < apps; i++ {
+		denom.Mul(denom, binom(rem, threads))
+		rem -= threads
+	}
+	if denom.Sign() == 0 {
+		return nil, fmt.Errorf("region: no mappings exist")
+	}
+
+	// Numerator: placements in which every region holds >= 1 MC. Count by
+	// dynamic programming over applications, tracking how many MC cores
+	// remain unplaced. Region i draws k >= 1 MC cores and threads-k
+	// non-MC cores from the remaining pools.
+	nonMC := cores - mcs
+	// ways[m] = number of ways to fill regions i..apps-1 given m MC cores
+	// and the matching number of non-MC cores remain.
+	ways := make([]*big.Int, mcs+1)
+	next := make([]*big.Int, mcs+1)
+	for m := range ways {
+		ways[m] = big.NewInt(1) // after the last region, one way regardless
+		next[m] = new(big.Int)
+	}
+	for i := apps - 1; i >= 0; i-- {
+		// Cores remaining before region i is placed.
+		remCores := cores - i*threads
+		for m := 0; m <= mcs; m++ {
+			next[m].SetInt64(0)
+			remNonMC := remCores - m
+			if remNonMC < 0 || remNonMC > nonMC {
+				continue
+			}
+			for k := 1; k <= threads && k <= m; k++ {
+				if threads-k > remNonMC {
+					continue
+				}
+				term := new(big.Int).Mul(binom(m, k), binom(remNonMC, threads-k))
+				term.Mul(term, ways[m-k])
+				next[m].Add(next[m], term)
+			}
+		}
+		ways, next = next, ways
+	}
+	num := ways[mcs]
+
+	return new(big.Rat).SetFrac(num, denom), nil
+}
+
+// binom returns C(n, k) as a big integer (0 when k > n or k < 0).
+func binom(n, k int) *big.Int {
+	if k < 0 || k > n {
+		return new(big.Int)
+	}
+	return new(big.Int).Binomial(int64(n), int64(k))
+}

@@ -1,0 +1,147 @@
+package region
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+// The paper (Section III.B) computes that with 16 cores, 4 MCs and 4 apps of
+// 4 threads each, only ≈14% of mappings leave every region with an MC:
+//
+//	4!·C(12,3)·C(9,3)·C(6,3)·C(3,3) / [C(16,4)·C(12,4)·C(8,4)·C(4,4)]
+func TestLBDRFractionPaperExample(t *testing.T) {
+	got, err := LBDRValidFraction(16, 4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := big.NewRat(8870400, 63063000)
+	if got.Cmp(want) != 0 {
+		t.Fatalf("fraction = %v, want %v", got, want)
+	}
+	f, _ := got.Float64()
+	if math.Abs(f-0.1407) > 0.001 {
+		t.Fatalf("fraction ≈ %.4f, want ≈0.14", f)
+	}
+}
+
+func TestLBDRFractionNoMCs(t *testing.T) {
+	got, err := LBDRValidFraction(16, 0, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sign() != 0 {
+		t.Fatalf("with no MCs nothing is valid, got %v", got)
+	}
+}
+
+func TestLBDRFractionFewerRegionsThanMCs(t *testing.T) {
+	// 2 regions, 4 MCs, regions of 4 in a 16-core chip: compute directly
+	// by brute force over MC placements. Denominator C(16,4)*C(12,4).
+	got, err := LBDRValidFraction(16, 4, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute force: region 1 picks 4 of 16, region 2 picks 4 of 12; cores
+	// 0..3 are MCs (labels don't matter, only counts). Count selections
+	// where both regions include >=1 MC.
+	valid, total := 0, 0
+	var rec func(i, placed int, sel []int)
+	// enumerate region A as a 4-subset, region B as a 4-subset of the rest
+	subsets := func(set []int, k int) [][]int {
+		var out [][]int
+		var cur []int
+		var walk func(start int)
+		walk = func(start int) {
+			if len(cur) == k {
+				out = append(out, append([]int(nil), cur...))
+				return
+			}
+			for i := start; i < len(set); i++ {
+				cur = append(cur, set[i])
+				walk(i + 1)
+				cur = cur[:len(cur)-1]
+			}
+		}
+		walk(0)
+		return out
+	}
+	_ = rec
+	all := make([]int, 16)
+	for i := range all {
+		all[i] = i
+	}
+	countMC := func(s []int) int {
+		n := 0
+		for _, v := range s {
+			if v < 4 {
+				n++
+			}
+		}
+		return n
+	}
+	for _, a := range subsets(all, 4) {
+		rest := make([]int, 0, 12)
+		used := map[int]bool{}
+		for _, v := range a {
+			used[v] = true
+		}
+		for _, v := range all {
+			if !used[v] {
+				rest = append(rest, v)
+			}
+		}
+		for _, b := range subsets(rest, 4) {
+			total++
+			if countMC(a) >= 1 && countMC(b) >= 1 {
+				valid++
+			}
+		}
+	}
+	want := big.NewRat(int64(valid), int64(total))
+	if got.Cmp(want) != 0 {
+		t.Fatalf("fraction = %v, brute force %v", got, want)
+	}
+}
+
+func TestLBDRFractionAllMCs(t *testing.T) {
+	// Every core is an MC: every mapping is valid.
+	got, err := LBDRValidFraction(8, 8, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(big.NewRat(1, 1)) != 0 {
+		t.Fatalf("fraction = %v, want 1", got)
+	}
+}
+
+func TestLBDRFractionErrors(t *testing.T) {
+	cases := [][4]int{
+		{0, 1, 1, 1},   // no cores
+		{16, 4, 5, 4},  // apps*threads > cores
+		{16, 17, 4, 4}, // more MCs than cores
+		{16, 4, 0, 4},  // no apps
+		{16, 4, 4, 0},  // no threads
+		{16, -1, 4, 4}, // negative MCs
+	}
+	for _, c := range cases {
+		if _, err := LBDRValidFraction(c[0], c[1], c[2], c[3]); err == nil {
+			t.Fatalf("parameters %v accepted", c)
+		}
+	}
+}
+
+func TestLBDRFractionMonotoneInMCs(t *testing.T) {
+	// More MCs can only make more mappings valid.
+	prev := new(big.Rat)
+	for mcs := 1; mcs <= 8; mcs++ {
+		f, err := LBDRValidFraction(16, mcs, 4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Cmp(prev) < 0 {
+			t.Fatalf("fraction decreased at mcs=%d: %v < %v", mcs, f, prev)
+		}
+		prev = f
+	}
+}

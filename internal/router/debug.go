@@ -1,0 +1,44 @@
+package router
+
+import (
+	"fmt"
+	"strings"
+
+	"rair/internal/topology"
+)
+
+// DebugState renders the router's pipeline state for diagnostics (watchdog
+// reports, deadlock triage).
+func (r *Router) DebugState() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "router %d (app %d)\n", r.node, r.app)
+	stages := [...]string{"Idle", "RC", "VA", "Active"}
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		for _, vc := range r.in[d].vcs {
+			if vc.owner == nil && vc.buf.Empty() {
+				continue
+			}
+			fmt.Fprintf(&b, "  in %-5s vc%-2d %-6s buf=%d attempts=%d", d, vc.idx, stages[vc.stage], vc.buf.Len(), vc.vaAttempts)
+			if vc.owner != nil {
+				fmt.Fprintf(&b, " owner=%v", vc.owner)
+				if vc.stage == stageActive {
+					fmt.Fprintf(&b, " -> %s vc%d", vc.outPort, vc.outVC)
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		out := r.out[d]
+		for _, ov := range out.vcs {
+			if ov.owner == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "  out %-5s vc%-2d credits=%d tailSent=%v owner=%v\n", d, ov.idx, ov.credits, ov.tailSent, ov.owner)
+		}
+		if out.stValid {
+			fmt.Fprintf(&b, "  out %-5s ST=%v flit %v seq=%d\n", d, out.st.Pkt, out.st.Type, out.st.Seq)
+		}
+	}
+	return b.String()
+}

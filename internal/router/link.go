@@ -1,0 +1,53 @@
+package router
+
+import (
+	"rair/internal/msg"
+	"rair/internal/sim"
+)
+
+// Link is a unidirectional flit channel with its paired reverse credit
+// wire. Flits flow downstream with the configured link latency; credits
+// (identified by VC index) flow upstream with a one-cycle delay.
+//
+// Links are the only coupling between routers (and between NIs and
+// routers): they are shifted exactly once per cycle by the network before
+// any component ticks, which makes the whole simulation independent of
+// component iteration order.
+type Link struct {
+	flits   *sim.DelayLine[msg.Flit]
+	credits *sim.DelayLine[int]
+}
+
+// NewLink returns a link with the given downstream flit latency.
+func NewLink(latency int) *Link {
+	return &Link{
+		flits:   sim.NewDelayLine[msg.Flit](latency),
+		credits: sim.NewDelayLine[int](1),
+	}
+}
+
+// Shift advances both directions one cycle, returning any arrivals.
+func (l *Link) Shift() (f msg.Flit, fOK bool, credit int, cOK bool) {
+	f, fOK = l.flits.Shift()
+	credit, cOK = l.credits.Shift()
+	return
+}
+
+// SendFlit pushes a flit downstream. At most one flit per cycle may enter
+// (the link is one flit wide); the router's ST stage guarantees this.
+func (l *Link) SendFlit(f msg.Flit) { l.flits.Push(f) }
+
+// CanSendFlit reports whether the downstream wire can accept a flit this
+// cycle.
+func (l *Link) CanSendFlit() bool { return l.flits.CanPush() }
+
+// SendCredit pushes a credit for vc upstream.
+func (l *Link) SendCredit(vc int) { l.credits.Push(vc) }
+
+// CanSendCredit reports whether the upstream wire can accept a credit this
+// cycle. One credit per cycle matches one flit dequeued per input port per
+// cycle (SA_in grants at most one).
+func (l *Link) CanSendCredit() bool { return l.credits.CanPush() }
+
+// Busy reports whether anything is in flight in either direction.
+func (l *Link) Busy() bool { return l.flits.Busy() || l.credits.Busy() }

@@ -1,0 +1,222 @@
+package router
+
+import (
+	"fmt"
+
+	"rair/internal/msg"
+	"rair/internal/policy"
+	"rair/internal/region"
+	"rair/internal/sim"
+)
+
+// NI is a node's network interface. It owns the per-class source queues
+// (unbounded, so injection pressure is visible as queueing latency), claims
+// free VCs on the router's local input port, streams flits at the link rate
+// of one per cycle, and consumes ejected flits from the router's local
+// output port.
+//
+// The NI mirrors the local input port's VC state through the credit wire:
+// a VC it has claimed is known free again once every flit has been sent and
+// every credit has returned (the same atomic-VC condition routers use).
+type NI struct {
+	cfg     Config
+	node    int
+	regions *region.Map
+
+	inj *Link // NI -> router local input port
+	ej  *Link // router local output port -> NI
+
+	queues []*sim.Queue[*msg.Packet] // per message class
+
+	streams  []*stream // per local-input VC; nil when not streaming
+	credits  []int
+	draining []bool // all flits sent, waiting for credits to return
+	rrVC     int
+	rrClass  int
+
+	onEject func(*msg.Packet, int64)
+
+	created, injected, ejected int64
+}
+
+type stream struct {
+	flits []msg.Flit
+	next  int
+}
+
+// NewNI builds the interface for node. onEject is invoked when a packet's
+// tail is consumed (may be nil).
+func NewNI(cfg Config, node int, regions *region.Map, inj, ej *Link, onEject func(*msg.Packet, int64)) *NI {
+	v := cfg.VCsPerPort()
+	ni := &NI{
+		cfg: cfg, node: node, regions: regions, inj: inj, ej: ej,
+		queues:   make([]*sim.Queue[*msg.Packet], cfg.Classes),
+		streams:  make([]*stream, v),
+		credits:  make([]int, v),
+		draining: make([]bool, v),
+		onEject:  onEject,
+	}
+	for i := range ni.queues {
+		ni.queues[i] = sim.NewQueue[*msg.Packet](16)
+	}
+	for i := range ni.credits {
+		ni.credits[i] = cfg.Depth
+	}
+	return ni
+}
+
+// Node returns the NI's node id.
+func (ni *NI) Node() int { return ni.node }
+
+// Inject queues a packet for injection at cycle now, stamping its creation
+// time, batch and regional/global classification.
+func (ni *NI) Inject(p *msg.Packet, now int64) {
+	if p.Src != ni.node {
+		panic(fmt.Sprintf("router: packet %v injected at node %d", p, ni.node))
+	}
+	if int(p.Class) >= ni.cfg.Classes {
+		panic(fmt.Sprintf("router: packet class %v exceeds configured classes", p.Class))
+	}
+	p.CreatedAt = now
+	p.BatchID = policy.BatchFor(now)
+	p.Global = ni.regions.Global(p.Src, p.Dst)
+	p.EjectedAt = -1
+	p.InjectedAt = -1
+	ni.queues[p.Class].Push(p)
+	ni.created++
+}
+
+// QueueLen reports the total packets waiting in the source queues.
+func (ni *NI) QueueLen() int {
+	n := 0
+	for _, q := range ni.queues {
+		n += q.Len()
+	}
+	return n
+}
+
+// Pending reports packets created but not yet ejected at this NI (note:
+// ejections are counted at the destination NI, so network-wide accounting
+// belongs to the network).
+func (ni *NI) Pending() bool {
+	if ni.QueueLen() > 0 {
+		return true
+	}
+	for _, s := range ni.streams {
+		if s != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Created reports how many packets this NI has accepted.
+func (ni *NI) Created() int64 { return ni.created }
+
+// Ejected reports how many packets this NI has consumed.
+func (ni *NI) Ejected() int64 { return ni.ejected }
+
+// DeliverFlit consumes a flit arriving from the router's local output port.
+func (ni *NI) DeliverFlit(f msg.Flit, now int64) {
+	if f.Pkt.Dst != ni.node {
+		panic(fmt.Sprintf("router: %v ejected at node %d", f.Pkt, ni.node))
+	}
+	if f.Type.IsTail() {
+		f.Pkt.EjectedAt = now
+		ni.ejected++
+		if ni.onEject != nil {
+			ni.onEject(f.Pkt, now)
+		}
+	}
+}
+
+// DeliverCredit consumes a credit returned by the router's local input port.
+func (ni *NI) DeliverCredit(vc int) {
+	ni.credits[vc]++
+	if ni.credits[vc] > ni.cfg.Depth {
+		panic("router: NI credit overflow")
+	}
+}
+
+// Tick claims VCs for queued packets and streams one flit.
+func (ni *NI) Tick(now int64) {
+	ni.claim()
+	ni.sendOne(now)
+	// Free drained VCs whose credits have all returned.
+	for vc := range ni.draining {
+		if ni.draining[vc] && ni.credits[vc] == ni.cfg.Depth {
+			ni.draining[vc] = false
+		}
+	}
+}
+
+// claim assigns one queued packet to a free local-input VC of its class per
+// cycle (one VC allocation per cycle, like a router's VA).
+func (ni *NI) claim() {
+	for c := 0; c < ni.cfg.Classes; c++ {
+		cls := (ni.rrClass + c) % ni.cfg.Classes
+		q := ni.queues[cls]
+		if q.Empty() {
+			continue
+		}
+		vc := ni.freeVC(msg.Class(cls))
+		if vc < 0 {
+			continue
+		}
+		p, _ := q.Pop()
+		ni.streams[vc] = &stream{flits: msg.Flits(p)}
+		ni.rrClass = (cls + 1) % ni.cfg.Classes
+		return
+	}
+}
+
+// freeVC finds a free local-input VC for class cls, preferring adaptive VCs
+// over the escape VC (the escape VC is a deadlock-safety resource; keeping
+// it lightly used at injection helps congested traffic fall back to it).
+func (ni *NI) freeVC(cls msg.Class) int {
+	base := ni.cfg.ClassBase(cls)
+	found := -1
+	for i := base; i < base+ni.cfg.VCsPerClass(); i++ {
+		if ni.streams[i] != nil || ni.draining[i] || ni.credits[i] != ni.cfg.Depth {
+			continue
+		}
+		if ni.cfg.KindOf(i) != policy.VCEscape {
+			return i
+		}
+		if found < 0 {
+			found = i
+		}
+	}
+	return found
+}
+
+// sendOne pushes at most one flit onto the injection link, round-robin over
+// the active streams with credits.
+func (ni *NI) sendOne(now int64) {
+	if !ni.inj.CanSendFlit() {
+		return
+	}
+	v := len(ni.streams)
+	for i := 0; i < v; i++ {
+		vc := (ni.rrVC + i) % v
+		s := ni.streams[vc]
+		if s == nil || ni.credits[vc] == 0 {
+			continue
+		}
+		f := s.flits[s.next]
+		f.VC = vc
+		if f.Type.IsHead() {
+			f.Pkt.InjectedAt = now
+			ni.injected++
+		}
+		ni.inj.SendFlit(f)
+		ni.credits[vc]--
+		s.next++
+		if s.next == len(s.flits) {
+			ni.streams[vc] = nil
+			ni.draining[vc] = true
+		}
+		ni.rrVC = (vc + 1) % v
+		return
+	}
+}

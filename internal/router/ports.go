@@ -1,0 +1,140 @@
+package router
+
+import (
+	"fmt"
+
+	"rair/internal/msg"
+	"rair/internal/sim"
+	"rair/internal/topology"
+)
+
+// vcStage is the per-input-VC pipeline state machine. A VC owns one packet
+// at a time (atomic allocation): the head flit walks RC → VA → Active, and
+// body/tail flits inherit the allocation while the VC is Active.
+type vcStage uint8
+
+const (
+	stageIdle vcStage = iota
+	stageRC
+	stageVA
+	stageActive
+)
+
+// inputVC is one virtual channel of an input port.
+type inputVC struct {
+	idx   int
+	buf   *sim.Bounded[msg.Flit]
+	owner *msg.Packet
+	stage vcStage
+
+	// Route allocation, valid while Active.
+	outPort topology.Dir
+	outVC   int
+
+	// vaAttempts counts failed VA tries; every other attempt is forced
+	// onto the escape (DOR) direction so the Duato escape path is always
+	// eventually requested under congestion.
+	vaAttempts int
+}
+
+// InputPort is one input of the router: a set of VC buffers plus the
+// upstream link credits are returned on.
+type InputPort struct {
+	dir      topology.Dir
+	vcs      []*inputVC
+	link     *Link // upstream link; nil on unconnected mesh-edge ports
+	bufFlits int   // buffered flits across the port's VCs (congestion metric)
+}
+
+func newInputPort(cfg Config, dir topology.Dir, link *Link) *InputPort {
+	p := &InputPort{dir: dir, link: link, vcs: make([]*inputVC, cfg.VCsPerPort())}
+	for i := range p.vcs {
+		p.vcs[i] = &inputVC{idx: i, buf: sim.NewBounded[msg.Flit](cfg.Depth)}
+	}
+	return p
+}
+
+// deliver accepts a flit arriving from the upstream link.
+func (p *InputPort) deliver(f msg.Flit) {
+	vc := p.vcs[f.VC]
+	if f.Type.IsHead() {
+		if vc.owner != nil {
+			panic(fmt.Sprintf("router: head flit of %v arrived on busy VC %d (%s port, owner %v)",
+				f.Pkt, f.VC, p.dir, vc.owner))
+		}
+		vc.owner = f.Pkt
+		vc.stage = stageRC
+		vc.vaAttempts = 0
+	} else if vc.owner != f.Pkt {
+		panic(fmt.Sprintf("router: body flit of %v on VC %d owned by %v", f.Pkt, f.VC, vc.owner))
+	}
+	vc.buf.Push(f)
+	p.bufFlits++
+}
+
+// outputVC is one virtual channel of an output port: the credit counter for
+// the downstream buffer and the atomic allocation state.
+type outputVC struct {
+	idx      int
+	credits  int
+	owner    *msg.Packet
+	tailSent bool
+}
+
+// OutputPort is one output of the router: per-VC credit/allocation state,
+// the downstream link, and the ST pipeline register holding the flit that
+// won SA last cycle.
+type OutputPort struct {
+	dir      topology.Dir
+	vcs      []*outputVC
+	link     *Link // downstream link; nil on unconnected mesh-edge ports
+	ejection bool  // Local port: the sink accepts unconditionally
+
+	st      msg.Flit
+	stValid bool
+
+	allocated int // owned VCs; lets idle ports skip the free() scan
+}
+
+func newOutputPort(cfg Config, dir topology.Dir, link *Link, ejection bool) *OutputPort {
+	p := &OutputPort{dir: dir, link: link, ejection: ejection, vcs: make([]*outputVC, cfg.VCsPerPort())}
+	for i := range p.vcs {
+		p.vcs[i] = &outputVC{idx: i, credits: cfg.Depth}
+	}
+	return p
+}
+
+// deliverCredit accepts a returned credit from the downstream router.
+func (p *OutputPort) deliverCredit(vc int, depth int) {
+	v := p.vcs[vc]
+	v.credits++
+	if v.credits > depth {
+		panic(fmt.Sprintf("router: credit overflow on %s VC %d", p.dir, vc))
+	}
+}
+
+// free releases output VCs whose packets have fully drained downstream:
+// tail sent and every credit returned (atomic VC reuse condition). Ejection
+// VCs never consume credits, so they free as soon as the tail is sent.
+func (p *OutputPort) free(depth int) {
+	if p.allocated == 0 {
+		return
+	}
+	for _, v := range p.vcs {
+		if v.owner != nil && v.tailSent && v.credits == depth {
+			v.owner = nil
+			v.tailSent = false
+			p.allocated--
+		}
+	}
+}
+
+// freeCredits reports the total credits available across the port (the
+// local congestion signal for selection functions).
+func (p *OutputPort) freeCredits() int {
+	sum := 0
+	for _, v := range p.vcs {
+		sum += v.credits
+	}
+	return sum
+}

@@ -1,0 +1,520 @@
+package router
+
+import (
+	"fmt"
+
+	"rair/internal/arbiter"
+	"rair/internal/msg"
+	"rair/internal/policy"
+	"rair/internal/region"
+	"rair/internal/routing"
+	"rair/internal/topology"
+)
+
+// Router is one node's pipelined VC router. Each router is tagged with the
+// application number assigned to its node (Figure 5); packets carry their
+// own application number, and the match classifies them as native or
+// foreign traffic for the policy.
+type Router struct {
+	cfg     Config
+	node    int
+	app     int
+	mesh    *topology.Mesh
+	regions *region.Map
+	alg     routing.Algorithm
+	sel     routing.Selector
+	pol     policy.Policy
+
+	in  [topology.NumDirs]*InputPort
+	out [topology.NumDirs]*OutputPort
+
+	vaArb    []*arbiter.Prioritized // per global output VC index
+	saInArb  [topology.NumDirs]*arbiter.Prioritized
+	saOutArb [topology.NumDirs]*arbiter.Prioritized
+
+	// VA scratch state, reused every cycle.
+	vaReq     [][]bool
+	vaPrio    [][]int
+	vaTouched []int
+	dirBuf    []topology.Dir
+
+	// SA scratch state.
+	saReq    []bool
+	saPrio   []int
+	saOutVC  [topology.NumDirs]*inputVC // SA_in winner per input port
+	saOutReq [topology.NumDirs][topology.NumDirs]bool
+	saOutPri [topology.NumDirs][topology.NumDirs]int
+
+	// DBAR congestion tables: cong[d][k] is the (k+1)-cycle-old occupancy
+	// of the router k+1 hops away in direction d. The network fills
+	// congNext from neighbors each cycle and swaps.
+	cong     [topology.NumDirs][]int
+	congNext [topology.NumDirs][]int
+	occSnap  int
+
+	// Stage population counters let idle routers skip whole pipeline
+	// stages; occupancy counters make the per-cycle DPA update O(1).
+	rcCount     int
+	vaCount     int
+	activeCount int
+	nativeOcc   int
+	foreignOcc  int
+
+	// flitsSent counts flits pushed onto each output link (utilization
+	// instrumentation).
+	flitsSent [topology.NumDirs]int64
+
+	now int64
+}
+
+// New creates a router for node (application app, or -1 when unassigned).
+// Links are attached afterwards with ConnectIn/ConnectOut.
+func New(cfg Config, node, app int, mesh *topology.Mesh, regions *region.Map,
+	alg routing.Algorithm, sel routing.Selector, pol policy.Policy) *Router {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	r := &Router{
+		cfg: cfg, node: node, app: app, mesh: mesh, regions: regions,
+		alg: alg, sel: sel, pol: pol,
+	}
+	v := cfg.VCsPerPort()
+	nOut := int(topology.NumDirs) * v
+	nIn := int(topology.NumDirs) * v
+	r.vaArb = make([]*arbiter.Prioritized, nOut)
+	r.vaReq = make([][]bool, nOut)
+	r.vaPrio = make([][]int, nOut)
+	for i := range r.vaArb {
+		r.vaArb[i] = arbiter.NewPrioritized(nIn)
+		r.vaReq[i] = make([]bool, nIn)
+		r.vaPrio[i] = make([]int, nIn)
+	}
+	r.saReq = make([]bool, v)
+	r.saPrio = make([]int, v)
+	rowLen := mesh.W
+	if mesh.H > rowLen {
+		rowLen = mesh.H
+	}
+	rowLen--
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		r.in[d] = newInputPort(cfg, d, nil)
+		r.out[d] = newOutputPort(cfg, d, nil, d == topology.Local)
+		r.saInArb[d] = arbiter.NewPrioritized(v)
+		r.saOutArb[d] = arbiter.NewPrioritized(int(topology.NumDirs))
+		r.cong[d] = make([]int, rowLen)
+		r.congNext[d] = make([]int, rowLen)
+	}
+	return r
+}
+
+// Node returns the router's node id.
+func (r *Router) Node() int { return r.node }
+
+// App returns the application assigned to the router's node (-1 if none).
+func (r *Router) App() int { return r.app }
+
+// Policy returns the router's interference-reduction policy instance.
+func (r *Router) Policy() policy.Policy { return r.pol }
+
+// ConnectIn attaches the upstream link feeding the input port at dir.
+func (r *Router) ConnectIn(dir topology.Dir, l *Link) { r.in[dir].link = l }
+
+// ConnectOut attaches the downstream link driven by the output port at dir.
+func (r *Router) ConnectOut(dir topology.Dir, l *Link) { r.out[dir].link = l }
+
+// DeliverFlit accepts a flit arriving on the input port at dir. The network
+// calls it when the attached link's delay elapses.
+func (r *Router) DeliverFlit(dir topology.Dir, f msg.Flit) {
+	r.in[dir].deliver(f)
+	if f.Type.IsHead() {
+		r.rcCount++
+		if r.regions.Native(r.node, f.Pkt.App) {
+			r.nativeOcc++
+		} else {
+			r.foreignOcc++
+		}
+	}
+}
+
+// DeliverCredit accepts a credit returned on the output port at dir.
+func (r *Router) DeliverCredit(dir topology.Dir, vc int) {
+	r.out[dir].deliverCredit(vc, r.cfg.Depth)
+}
+
+// Occupancy reports the occupied-input-VC count at the end of the last
+// cycle.
+func (r *Router) Occupancy() int { return r.occSnap }
+
+// InPortOccupancy reports the buffered flits at the input port facing
+// direction d: the congestion a packet traveling in direction d meets when
+// it enters this router. This per-direction value is what DBAR propagates.
+func (r *Router) InPortOccupancy(d topology.Dir) int {
+	return r.in[d.Opposite()].bufFlits
+}
+
+// CongRow returns the current congestion table for direction d (read-only).
+func (r *Router) CongRow(d topology.Dir) []int { return r.cong[d] }
+
+// CongNextRow returns the next-cycle congestion table for direction d; the
+// network fills it before calling SwapCong.
+func (r *Router) CongNextRow(d topology.Dir) []int { return r.congNext[d] }
+
+// SwapCong publishes the next-cycle congestion tables.
+func (r *Router) SwapCong() {
+	for d := range r.cong {
+		r.cong[d], r.congNext[d] = r.congNext[d], r.cong[d]
+	}
+}
+
+// OutputFree implements routing.CongestionView.
+func (r *Router) OutputFree(d topology.Dir) int { return r.out[d].freeCredits() }
+
+// PathOccupancy implements routing.CongestionView.
+func (r *Router) PathOccupancy(d topology.Dir, hops int) int {
+	row := r.cong[d]
+	if hops > len(row) {
+		hops = len(row)
+	}
+	sum := 0
+	for k := 0; k < hops; k++ {
+		sum += row[k]
+	}
+	return sum
+}
+
+// Tick advances the router one cycle. Stages run in reverse pipeline order
+// (ST, SA, VA, RC) over latched state, so each flit advances at most one
+// stage per cycle.
+func (r *Router) Tick(now int64) {
+	r.now = now
+	for _, out := range r.out {
+		out.free(r.cfg.Depth)
+	}
+	r.switchTraversal()
+	r.switchAllocation()
+	r.vcAllocation()
+	r.routeCompute()
+	r.updatePolicy()
+}
+
+// switchTraversal moves last cycle's SA winners onto their links (ST + LT).
+func (r *Router) switchTraversal() {
+	for d, out := range r.out {
+		if !out.stValid || out.link == nil {
+			continue
+		}
+		if out.link.CanSendFlit() {
+			out.link.SendFlit(out.st)
+			out.stValid = false
+			r.flitsSent[d]++
+		}
+	}
+}
+
+// FlitsSent reports the flits this router has pushed onto the output link
+// at dir since construction (link-utilization instrumentation).
+func (r *Router) FlitsSent(dir topology.Dir) int64 { return r.flitsSent[dir] }
+
+// switchAllocation performs SA_in (one candidate VC per input port) and
+// SA_out (one winner per output port), both under the policy's SA priority
+// (MSP, Section IV.B). The winning flit is dequeued, its buffer credit is
+// returned upstream, and it is latched into the ST register.
+func (r *Router) switchAllocation() {
+	if r.activeCount == 0 {
+		return
+	}
+	v := r.cfg.VCsPerPort()
+	// SA_in: nominate one VC per input port.
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		in := r.in[d]
+		r.saOutVC[d] = nil
+		any := false
+		for i, vc := range in.vcs {
+			ok := vc.stage == stageActive && !vc.buf.Empty()
+			if ok {
+				out := r.out[vc.outPort]
+				ov := out.vcs[vc.outVC]
+				ok = !out.stValid && (out.ejection || ov.credits > 0)
+			}
+			r.saReq[i] = ok
+			if ok {
+				r.saPrio[i] = r.pol.SAPriority(policy.FromPacket(vc.owner, r.app), r.now)
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		if w := r.saInArb[d].Grant(r.saReq[:v], r.saPrio[:v]); w != arbiter.None {
+			r.saOutVC[d] = in.vcs[w]
+		}
+	}
+	// SA_out: arbitrate nominated VCs per output port.
+	for od := topology.Dir(0); od < topology.NumDirs; od++ {
+		any := false
+		for id := topology.Dir(0); id < topology.NumDirs; id++ {
+			vc := r.saOutVC[id]
+			req := vc != nil && vc.outPort == od
+			r.saOutReq[od][id] = req
+			if req {
+				r.saOutPri[od][id] = r.pol.SAPriority(policy.FromPacket(vc.owner, r.app), r.now)
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		w := r.saOutArb[od].Grant(r.saOutReq[od][:], r.saOutPri[od][:])
+		if w == arbiter.None {
+			continue
+		}
+		r.transfer(topology.Dir(w), r.saOutVC[w])
+	}
+}
+
+// transfer dequeues one flit from vc and latches it into the ST register of
+// its allocated output port.
+func (r *Router) transfer(inDir topology.Dir, vc *inputVC) {
+	out := r.out[vc.outPort]
+	ov := out.vcs[vc.outVC]
+	f, ok := vc.buf.Pop()
+	if !ok {
+		panic("router: SA granted an empty VC")
+	}
+	r.in[inDir].bufFlits--
+	f.VC = vc.outVC
+	if f.Type.IsHead() {
+		f.Pkt.Hops++
+	}
+	if out.stValid {
+		panic("router: ST register collision")
+	}
+	out.st = f
+	out.stValid = true
+	if !out.ejection {
+		if ov.credits <= 0 {
+			panic("router: SA granted without credit")
+		}
+		ov.credits--
+	}
+	if in := r.in[inDir]; in.link != nil {
+		if !in.link.CanSendCredit() {
+			panic("router: credit wire busy (more than one dequeue per port per cycle)")
+		}
+		in.link.SendCredit(vc.idx)
+	}
+	if f.Type.IsTail() {
+		if r.regions.Native(r.node, vc.owner.App) {
+			r.nativeOcc--
+		} else {
+			r.foreignOcc--
+		}
+		vc.stage = stageIdle
+		vc.owner = nil
+		ov.tailSent = true
+		r.activeCount--
+	}
+}
+
+// vcAllocation performs VA for every input VC in the VA stage: the
+// contention-free VA_in step picks one output VC request per input VC, and
+// the VA_out step arbitrates per output VC under the policy's VC
+// regionalization priorities.
+func (r *Router) vcAllocation() {
+	if r.vaCount == 0 {
+		return
+	}
+	v := r.cfg.VCsPerPort()
+	r.vaTouched = r.vaTouched[:0]
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		for _, vc := range r.in[d].vcs {
+			if vc.stage != stageVA {
+				continue
+			}
+			outGlobal, cls := r.vaInput(vc)
+			if outGlobal < 0 {
+				continue
+			}
+			inGlobal := int(d)*v + vc.idx
+			if r.rowEmpty(outGlobal) {
+				r.vaTouched = append(r.vaTouched, outGlobal)
+			}
+			r.vaReq[outGlobal][inGlobal] = true
+			r.vaPrio[outGlobal][inGlobal] = r.pol.VAOutPriority(policy.FromPacket(vc.owner, r.app), cls, r.now)
+		}
+	}
+	for _, og := range r.vaTouched {
+		w := r.vaArb[og].Grant(r.vaReq[og], r.vaPrio[og])
+		if w != arbiter.None {
+			r.allocate(og, w)
+		}
+		for i := range r.vaReq[og] {
+			r.vaReq[og][i] = false
+		}
+	}
+}
+
+// rowEmpty reports whether no request has been filed yet for output VC og
+// this cycle (used to track which arbiters must run).
+func (r *Router) rowEmpty(og int) bool {
+	for _, b := range r.vaReq[og] {
+		if b {
+			return false
+		}
+	}
+	return true
+}
+
+// vaInput is the VA_in step for one input VC: route computation candidates,
+// the selection function (or the forced escape direction on every other
+// attempt, which guarantees the Duato escape path is requested under
+// sustained congestion), then the choice of one free output VC. It returns
+// the global output VC index requested (or -1) and its class.
+func (r *Router) vaInput(vc *inputVC) (int, policy.VCClass) {
+	pkt := vc.owner
+	escDir := r.alg.EscapeDir(r.node, pkt.Dst)
+	r.dirBuf = r.alg.Candidates(r.node, pkt.Dst, r.dirBuf[:0])
+	var port topology.Dir
+	switch {
+	case len(r.dirBuf) == 1:
+		port = r.dirBuf[0]
+	case vc.vaAttempts%2 == 1:
+		port = escDir
+	default:
+		port = r.sel.Select(r.node, pkt.Dst, r.dirBuf, r)
+	}
+	vc.vaAttempts++
+	out := r.out[port]
+	if out.link == nil && !out.ejection {
+		panic(fmt.Sprintf("router %d: route to unconnected port %v", r.node, port))
+	}
+	base := r.cfg.ClassBase(pkt.Class)
+	chosen := -1
+	var chosenCls policy.VCClass
+	bestPref := 3
+	for i := base; i < base+r.cfg.VCsPerClass(); i++ {
+		ov := out.vcs[i]
+		if ov.owner != nil {
+			continue
+		}
+		cls := r.cfg.KindOf(i)
+		if cls == policy.VCEscape && port != escDir {
+			continue
+		}
+		pref := r.preference(pkt, cls)
+		if pref < bestPref {
+			bestPref, chosen, chosenCls = pref, i, cls
+		}
+	}
+	if chosen < 0 {
+		return -1, 0
+	}
+	return int(port)*r.cfg.VCsPerPort() + chosen, chosenCls
+}
+
+// preference orders VA_in's choice among free output VCs: traffic prefers
+// the VC class matching its nature (global traffic → global VCs), falls
+// back to the other adaptive class, and takes the escape VC last. Any
+// traffic may use any class (VC regionalization partitions by priority, not
+// by admission — Section IV.A), so no VC sits idle while traffic waits.
+func (r *Router) preference(pkt *msg.Packet, cls policy.VCClass) int {
+	switch cls {
+	case policy.VCEscape:
+		return 2
+	case policy.VCGlobal:
+		if pkt.Global {
+			return 0
+		}
+		return 1
+	default: // regional
+		if pkt.Global {
+			return 1
+		}
+		return 0
+	}
+}
+
+// allocate commits a VA_out grant: output VC og to the input VC with global
+// index w.
+func (r *Router) allocate(og, w int) {
+	v := r.cfg.VCsPerPort()
+	port := topology.Dir(og / v)
+	ovIdx := og % v
+	in := r.in[topology.Dir(w/v)]
+	vc := in.vcs[w%v]
+	out := r.out[port]
+	ov := out.vcs[ovIdx]
+	if ov.owner != nil {
+		panic("router: VA granted an occupied output VC")
+	}
+	if ov.credits != r.cfg.Depth {
+		panic("router: output VC allocated before credits drained")
+	}
+	ov.owner = vc.owner
+	ov.tailSent = false
+	out.allocated++
+	vc.outPort = port
+	vc.outVC = ovIdx
+	vc.stage = stageActive
+	r.vaCount--
+	r.activeCount++
+}
+
+// routeCompute advances heads that arrived last cycle into the VA stage.
+func (r *Router) routeCompute() {
+	if r.rcCount == 0 {
+		return
+	}
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		for _, vc := range r.in[d].vcs {
+			if vc.stage == stageRC {
+				vc.stage = stageVA
+				r.vaCount++
+				r.rcCount--
+				if r.rcCount == 0 {
+					return
+				}
+			}
+		}
+	}
+}
+
+// updatePolicy feeds the DPA registers: occupied VCs held by native vs
+// foreign traffic across the whole router (Section IV.C counts all VCs, not
+// just one port). The counts are maintained incrementally at head arrival
+// and tail departure; the policy applies the new state next cycle.
+func (r *Router) updatePolicy() {
+	r.pol.Update(r.nativeOcc, r.foreignOcc)
+	r.occSnap = r.nativeOcc + r.foreignOcc
+}
+
+// BufferedFlits reports the total flits buffered in all input VCs (used by
+// drain detection and tests).
+func (r *Router) BufferedFlits() int {
+	n := 0
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		for _, vc := range r.in[d].vcs {
+			n += vc.buf.Len()
+		}
+	}
+	for _, out := range r.out {
+		if out.stValid {
+			n++
+		}
+	}
+	return n
+}
+
+// OldestOwner returns the earliest-created packet currently holding any
+// input VC, or nil. The network's starvation watchdog uses it.
+func (r *Router) OldestOwner() *msg.Packet {
+	var oldest *msg.Packet
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		for _, vc := range r.in[d].vcs {
+			if vc.owner != nil && (oldest == nil || vc.owner.CreatedAt < oldest.CreatedAt) {
+				oldest = vc.owner
+			}
+		}
+	}
+	return oldest
+}

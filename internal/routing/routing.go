@@ -1,0 +1,183 @@
+// Package routing provides the routing algorithms used in the evaluation:
+// dimension-ordered XY routing, minimal fully-adaptive routing with a
+// Duato-style XY escape path, and the two output-selection functions the
+// paper compares — Local (credit/free-buffer based, the "typical adaptive
+// routing algorithm that uses the information available at the local
+// router") and DBAR (non-local congestion aggregated along dimensions,
+// clipped at region boundaries so other regions' load does not interfere
+// with in-region decisions, per Figure 4).
+//
+// RAIR itself places no restriction on routing (Section IV.D); the router
+// composes any Algorithm with any Selector.
+package routing
+
+import (
+	"rair/internal/region"
+	"rair/internal/topology"
+)
+
+// Algorithm produces the candidate output directions for a packet.
+type Algorithm interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Candidates appends the productive output directions for a packet
+	// at cur heading to dst and returns the extended slice. For
+	// cur == dst it appends Local.
+	Candidates(cur, dst int, out []topology.Dir) []topology.Dir
+	// EscapeDir returns the single deadlock-free (dimension-ordered)
+	// direction from cur toward dst; escape VCs may only be requested on
+	// this direction. Local when cur == dst.
+	EscapeDir(cur, dst int) topology.Dir
+}
+
+// XY is deterministic dimension-ordered routing: the only candidate is the
+// escape direction itself.
+type XY struct {
+	Mesh *topology.Mesh
+}
+
+// Name implements Algorithm.
+func (XY) Name() string { return "XY" }
+
+// Candidates implements Algorithm.
+func (a XY) Candidates(cur, dst int, out []topology.Dir) []topology.Dir {
+	return append(out, a.Mesh.XYDir(cur, dst))
+}
+
+// EscapeDir implements Algorithm.
+func (a XY) EscapeDir(cur, dst int) topology.Dir { return a.Mesh.XYDir(cur, dst) }
+
+// MinimalAdaptive offers every productive direction (at most two in a mesh)
+// and relies on an escape VC network routed XY for deadlock freedom, per
+// Duato's theory.
+type MinimalAdaptive struct {
+	Mesh *topology.Mesh
+}
+
+// Name implements Algorithm.
+func (MinimalAdaptive) Name() string { return "MinAdaptive" }
+
+// Candidates implements Algorithm.
+func (a MinimalAdaptive) Candidates(cur, dst int, out []topology.Dir) []topology.Dir {
+	if cur == dst {
+		return append(out, topology.Local)
+	}
+	return a.Mesh.MinimalDirs(cur, dst, out)
+}
+
+// EscapeDir implements Algorithm.
+func (a MinimalAdaptive) EscapeDir(cur, dst int) topology.Dir { return a.Mesh.XYDir(cur, dst) }
+
+// CongestionView is the congestion information a router exposes to its
+// selection function.
+type CongestionView interface {
+	// OutputFree reports the total downstream credits available at the
+	// output port in direction d (the local, credit-based signal).
+	OutputFree(d topology.Dir) int
+	// PathOccupancy reports the aggregated occupancy of the next hops
+	// routers along direction d (the DBAR-style non-local signal, as
+	// fresh as the one-hop-per-cycle propagation allows).
+	PathOccupancy(d topology.Dir, hops int) int
+}
+
+// Selector picks one direction among the candidates returned by an
+// Algorithm.
+type Selector interface {
+	// Name identifies the selector in reports.
+	Name() string
+	// Select returns one of dirs (len >= 1) for a packet at cur heading
+	// to dst given the router's congestion view.
+	Select(cur, dst int, dirs []topology.Dir, view CongestionView) topology.Dir
+}
+
+// LocalSelector picks the candidate with the most free downstream credits,
+// breaking ties toward the first candidate (the X dimension, keeping the
+// tie-break deterministic).
+type LocalSelector struct{}
+
+// Name implements Selector.
+func (LocalSelector) Name() string { return "Local" }
+
+// Select implements Selector.
+func (LocalSelector) Select(cur, dst int, dirs []topology.Dir, view CongestionView) topology.Dir {
+	best := dirs[0]
+	bestFree := view.OutputFree(best)
+	for _, d := range dirs[1:] {
+		if f := view.OutputFree(d); f > bestFree {
+			best, bestFree = d, f
+		}
+	}
+	return best
+}
+
+// DBARSelector implements the DBAR selection function: candidates are
+// scored by the congestion of the routers along the candidate dimension,
+// aggregated only up to the nearer of (a) the hop where the packet would
+// reach its destination coordinate in that dimension, and (b) the boundary
+// of the current region — so the load of other regions never influences the
+// decision (Figure 4). The local credit signal breaks near-ties.
+type DBARSelector struct {
+	Mesh    *topology.Mesh
+	Regions *region.Map
+	// Depth is the total downstream buffer capacity behind OutputFree
+	// (all VCs of a port), used to convert free credits into an
+	// occupancy-style penalty. Zero disables the local term.
+	Depth int
+}
+
+// Name implements Selector.
+func (DBARSelector) Name() string { return "DBAR" }
+
+// Select implements Selector.
+func (s DBARSelector) Select(cur, dst int, dirs []topology.Dir, view CongestionView) topology.Dir {
+	best := dirs[0]
+	bestScore := s.score(cur, dst, best, view)
+	for _, d := range dirs[1:] {
+		if sc := s.score(cur, dst, d, view); sc < bestScore {
+			best, bestScore = d, sc
+		}
+	}
+	return best
+}
+
+func (s DBARSelector) score(cur, dst int, d topology.Dir, view CongestionView) int {
+	if d == topology.Local {
+		return 0
+	}
+	cc, cd := s.Mesh.Coord(cur), s.Mesh.Coord(dst)
+	var offset int
+	switch d {
+	case topology.East, topology.West:
+		offset = abs(cd.X - cc.X)
+	default:
+		offset = abs(cd.Y - cc.Y)
+	}
+	clip := offset
+	if s.Regions != nil {
+		if span := s.Regions.SpanWithin(cur, d); span < clip {
+			clip = span
+		}
+	}
+	// Path occupancy (buffered flits at the input ports a d-traveling
+	// packet will enter) plus the fresh local credit signal for the first
+	// hop; both are in buffer-slot units, so they compose directly.
+	score := view.PathOccupancy(d, clip)
+	if s.Depth > 0 {
+		score += s.Depth - min(view.OutputFree(d), s.Depth)
+	}
+	return score
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

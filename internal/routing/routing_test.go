@@ -1,0 +1,196 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rair/internal/region"
+	"rair/internal/topology"
+)
+
+type fakeView struct {
+	free map[topology.Dir]int
+	path map[topology.Dir][]int // occupancy per hop distance (1-based)
+}
+
+func (v fakeView) OutputFree(d topology.Dir) int { return v.free[d] }
+
+func (v fakeView) PathOccupancy(d topology.Dir, hops int) int {
+	sum := 0
+	occ := v.path[d]
+	for k := 0; k < hops && k < len(occ); k++ {
+		sum += occ[k]
+	}
+	return sum
+}
+
+func TestXYAlgorithm(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	a := XY{Mesh: m}
+	if a.Name() != "XY" {
+		t.Fatal("name")
+	}
+	dirs := a.Candidates(0, 63, nil)
+	if len(dirs) != 1 || dirs[0] != topology.East {
+		t.Fatalf("XY candidates = %v", dirs)
+	}
+	if a.EscapeDir(0, 63) != topology.East {
+		t.Fatal("escape dir")
+	}
+	if d := a.Candidates(5, 5, nil); d[0] != topology.Local {
+		t.Fatal("self route must be Local")
+	}
+}
+
+func TestMinimalAdaptiveCandidates(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	a := MinimalAdaptive{Mesh: m}
+	// 0 -> 63 needs East and South.
+	dirs := a.Candidates(0, 63, nil)
+	if len(dirs) != 2 {
+		t.Fatalf("candidates = %v", dirs)
+	}
+	has := map[topology.Dir]bool{}
+	for _, d := range dirs {
+		has[d] = true
+	}
+	if !has[topology.East] || !has[topology.South] {
+		t.Fatalf("candidates = %v", dirs)
+	}
+	// Same row: only one candidate.
+	if dirs := a.Candidates(0, 7, nil); len(dirs) != 1 || dirs[0] != topology.East {
+		t.Fatalf("row candidates = %v", dirs)
+	}
+	if dirs := a.Candidates(9, 9, nil); len(dirs) != 1 || dirs[0] != topology.Local {
+		t.Fatalf("self candidates = %v", dirs)
+	}
+}
+
+// Property: the escape direction is always among a productive direction set
+// and XY-consistent, so escape VC hops are minimal and deadlock-free.
+func TestEscapeDirAlwaysMinimal(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	a := MinimalAdaptive{Mesh: m}
+	if err := quick.Check(func(s, d uint8) bool {
+		cur, dst := int(s)%64, int(d)%64
+		if cur == dst {
+			return a.EscapeDir(cur, dst) == topology.Local
+		}
+		esc := a.EscapeDir(cur, dst)
+		for _, dir := range a.Candidates(cur, dst, nil) {
+			if dir == esc {
+				return true
+			}
+		}
+		return false
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalSelectorPicksMostFree(t *testing.T) {
+	v := fakeView{free: map[topology.Dir]int{topology.East: 2, topology.South: 7}}
+	s := LocalSelector{}
+	if s.Name() != "Local" {
+		t.Fatal("name")
+	}
+	got := s.Select(0, 63, []topology.Dir{topology.East, topology.South}, v)
+	if got != topology.South {
+		t.Fatalf("selected %v", got)
+	}
+	// Tie prefers the first candidate.
+	v.free[topology.South] = 2
+	got = s.Select(0, 63, []topology.Dir{topology.East, topology.South}, v)
+	if got != topology.East {
+		t.Fatalf("tie selected %v", got)
+	}
+}
+
+func TestDBARUsesPathOccupancy(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	s := DBARSelector{Mesh: m, Regions: region.Single(m)}
+	// Path east is congested, south clear.
+	v := fakeView{
+		free: map[topology.Dir]int{},
+		path: map[topology.Dir][]int{
+			topology.East:  {5, 5, 5},
+			topology.South: {0, 0, 0},
+		},
+	}
+	got := s.Select(0, 63, []topology.Dir{topology.East, topology.South}, v)
+	if got != topology.South {
+		t.Fatalf("selected %v", got)
+	}
+}
+
+func TestDBARClipsAtRegionBoundary(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	regs := region.Halves(m)
+	s := DBARSelector{Mesh: m, Regions: regs}
+	// Packet at (0,0) heading to (7,7): 7 hops east of which only 3 stay
+	// in the left half. Congestion beyond the boundary (hops 4+) must be
+	// ignored: east reads as clear even though the far end is loaded.
+	v := fakeView{
+		free: map[topology.Dir]int{},
+		path: map[topology.Dir][]int{
+			topology.East:  {0, 0, 0, 9, 9, 9, 9}, // load only beyond boundary
+			topology.South: {1, 1, 1, 1, 1, 1, 1},
+		},
+	}
+	got := s.Select(0, 63, []topology.Dir{topology.East, topology.South}, v)
+	if got != topology.East {
+		t.Fatalf("selected %v: region clipping not applied", got)
+	}
+	// Without regions (nil), the full path counts and south wins.
+	s2 := DBARSelector{Mesh: m}
+	got = s2.Select(0, 63, []topology.Dir{topology.East, topology.South}, v)
+	if got != topology.South {
+		t.Fatalf("unclipped selected %v", got)
+	}
+}
+
+func TestDBARClipsAtDestinationOffset(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	s := DBARSelector{Mesh: m, Regions: region.Single(m)}
+	// Destination is 1 hop east, 6 south. Only the first east hop counts.
+	dst := m.ID(topology.Coord{X: 1, Y: 6})
+	v := fakeView{
+		free: map[topology.Dir]int{},
+		path: map[topology.Dir][]int{
+			topology.East:  {1, 9, 9},
+			topology.South: {2, 0, 0},
+		},
+	}
+	got := s.Select(0, dst, []topology.Dir{topology.East, topology.South}, v)
+	if got != topology.East {
+		t.Fatalf("selected %v: offset clipping not applied", got)
+	}
+}
+
+func TestDBARLocalTieBreak(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	s := DBARSelector{Mesh: m, Regions: region.Single(m), Depth: 5}
+	v := fakeView{
+		free: map[topology.Dir]int{topology.East: 0, topology.South: 5},
+		path: map[topology.Dir][]int{},
+	}
+	got := s.Select(0, 63, []topology.Dir{topology.East, topology.South}, v)
+	if got != topology.South {
+		t.Fatalf("selected %v: local term ignored", got)
+	}
+}
+
+func TestDBARSingleCandidate(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	s := DBARSelector{Mesh: m}
+	v := fakeView{}
+	if got := s.Select(0, 7, []topology.Dir{topology.East}, v); got != topology.East {
+		t.Fatalf("selected %v", got)
+	}
+	if got := s.Select(5, 5, []topology.Dir{topology.Local}, v); got != topology.Local {
+		t.Fatalf("selected %v", got)
+	}
+	if s.Name() != "DBAR" {
+		t.Fatal("name")
+	}
+}

@@ -1,0 +1,40 @@
+package routing
+
+import "rair/internal/topology"
+
+// WestFirst is the west-first turn-model adaptive routing algorithm: all
+// westward hops are taken first (deterministically), after which the packet
+// may route adaptively among the remaining productive directions. The turn
+// model forbids the turns that close dependency cycles, so west-first is
+// deadlock-free on every VC without an escape network — included as an
+// alternative substrate to demonstrate RAIR's routing-independence
+// (Section IV.D: "virtually any deadlock avoidance routing algorithm can be
+// incorporated").
+//
+// The router still reserves escape VCs (its deadlock safety net is
+// algorithm-agnostic); under west-first they are just extra DOR-restricted
+// capacity.
+type WestFirst struct {
+	Mesh *topology.Mesh
+}
+
+// Name implements Algorithm.
+func (WestFirst) Name() string { return "WestFirst" }
+
+// Candidates implements Algorithm.
+func (a WestFirst) Candidates(cur, dst int, out []topology.Dir) []topology.Dir {
+	if cur == dst {
+		return append(out, topology.Local)
+	}
+	cc, cd := a.Mesh.Coord(cur), a.Mesh.Coord(dst)
+	if cd.X < cc.X {
+		// Westward traffic is fully deterministic: west first.
+		return append(out, topology.West)
+	}
+	return a.Mesh.MinimalDirs(cur, dst, out)
+}
+
+// EscapeDir implements Algorithm. XY routing never takes a forbidden
+// west-first turn (west hops happen before any north/south hop), so the
+// escape network is compatible with the turn model.
+func (a WestFirst) EscapeDir(cur, dst int) topology.Dir { return a.Mesh.XYDir(cur, dst) }

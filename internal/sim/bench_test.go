@@ -1,0 +1,25 @@
+package sim
+
+import "testing"
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		r.Uint64()
+	}
+}
+
+func BenchmarkRNGIntn(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		r.Intn(64)
+	}
+}
+
+func BenchmarkBoundedPushPop(b *testing.B) {
+	q := NewBounded[int](5)
+	for i := 0; i < b.N; i++ {
+		q.Push(i)
+		q.Pop()
+	}
+}

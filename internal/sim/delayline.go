@@ -1,0 +1,82 @@
+package sim
+
+// DelayLine models a fixed-latency pipeline register chain (a link, a credit
+// return wire). A value pushed at cycle t pops out exactly latency cycles
+// later. The line must be advanced exactly once per simulated cycle via
+// Shift; a cheap occupancy counter lets idle links skip work.
+//
+// At most one value may enter per cycle, matching a single-flit-wide link.
+type DelayLine[T any] struct {
+	slots  []slot[T]
+	head   int // index shifted out next
+	count  int
+	pushed bool // guards one-push-per-cycle
+}
+
+type slot[T any] struct {
+	v     T
+	valid bool
+}
+
+// NewDelayLine returns a line of the given latency (>= 1).
+func NewDelayLine[T any](latency int) *DelayLine[T] {
+	if latency < 1 {
+		panic("sim: DelayLine latency must be >= 1")
+	}
+	return &DelayLine[T]{slots: make([]slot[T], latency)}
+}
+
+// Latency reports the configured latency in cycles.
+func (d *DelayLine[T]) Latency() int { return len(d.slots) }
+
+// Busy reports whether any value is in flight.
+func (d *DelayLine[T]) Busy() bool { return d.count > 0 }
+
+// CanPush reports whether a value may enter this cycle (one per cycle, and
+// the entry register must be free).
+func (d *DelayLine[T]) CanPush() bool {
+	if d.pushed {
+		return false
+	}
+	tail := (d.head + len(d.slots) - 1) % len(d.slots)
+	return !d.slots[tail].valid
+}
+
+// Push inserts v at the entry register. It panics if CanPush is false.
+func (d *DelayLine[T]) Push(v T) {
+	if !d.CanPush() {
+		panic("sim: DelayLine double push or entry occupied")
+	}
+	tail := (d.head + len(d.slots) - 1) % len(d.slots)
+	d.slots[tail] = slot[T]{v: v, valid: true}
+	d.count++
+	d.pushed = true
+}
+
+// Shift advances the line one cycle and returns the value (if any) that has
+// completed its traversal. Call exactly once per cycle, before any Push for
+// that cycle.
+func (d *DelayLine[T]) Shift() (v T, ok bool) {
+	d.pushed = false
+	out := d.slots[d.head]
+	var zero slot[T]
+	d.slots[d.head] = zero
+	d.head = (d.head + 1) % len(d.slots)
+	if out.valid {
+		d.count--
+		return out.v, true
+	}
+	return v, false
+}
+
+// Drain empties the line, returning how many in-flight values were dropped.
+func (d *DelayLine[T]) Drain() int {
+	n := d.count
+	for i := range d.slots {
+		var zero slot[T]
+		d.slots[i] = zero
+	}
+	d.count = 0
+	d.pushed = false
+	return n
+}

@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue[int](2)
+	for i := 0; i < 100; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", q.Len())
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = %d,%v want %d", v, ok, i)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue reported ok")
+	}
+}
+
+func TestQueuePeekAt(t *testing.T) {
+	q := NewQueue[string](1)
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty reported ok")
+	}
+	q.Push("a")
+	q.Push("b")
+	q.Push("c")
+	q.Pop() // force wrap later
+	q.Push("d")
+	if v, _ := q.Peek(); v != "b" {
+		t.Fatalf("Peek = %q", v)
+	}
+	if v := q.At(2); v != "d" {
+		t.Fatalf("At(2) = %q", v)
+	}
+}
+
+func TestQueueAtPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewQueue[int](1).At(0)
+}
+
+func TestQueueClear(t *testing.T) {
+	q := NewQueue[int](4)
+	for i := 0; i < 10; i++ {
+		q.Push(i)
+	}
+	q.Clear()
+	if !q.Empty() {
+		t.Fatal("not empty after Clear")
+	}
+	q.Push(7)
+	if v, _ := q.Pop(); v != 7 {
+		t.Fatal("queue unusable after Clear")
+	}
+}
+
+// Property: an interleaved push/pop sequence behaves like a reference slice
+// implementation.
+func TestQueueMatchesReference(t *testing.T) {
+	if err := quick.Check(func(ops []int16) bool {
+		q := NewQueue[int16](1)
+		var ref []int16
+		for _, op := range ops {
+			if op%3 == 0 && len(ref) > 0 { // pop
+				want := ref[0]
+				ref = ref[1:]
+				got, ok := q.Pop()
+				if !ok || got != want {
+					return false
+				}
+			} else { // push
+				ref = append(ref, op)
+				q.Push(op)
+			}
+			if q.Len() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundedCapacityAndOrder(t *testing.T) {
+	b := NewBounded[int](3)
+	if b.Cap() != 3 || !b.Empty() {
+		t.Fatal("bad initial state")
+	}
+	b.Push(1)
+	b.Push(2)
+	b.Push(3)
+	if !b.Full() {
+		t.Fatal("should be full")
+	}
+	for want := 1; want <= 3; want++ {
+		v, ok := b.Pop()
+		if !ok || v != want {
+			t.Fatalf("Pop = %d,%v want %d", v, ok, want)
+		}
+	}
+}
+
+func TestBoundedOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected overflow panic")
+		}
+	}()
+	b := NewBounded[int](1)
+	b.Push(1)
+	b.Push(2)
+}
+
+func TestBoundedWrap(t *testing.T) {
+	b := NewBounded[int](2)
+	for i := 0; i < 50; i++ {
+		b.Push(i)
+		if v, ok := b.Pop(); !ok || v != i {
+			t.Fatalf("wrap iteration %d", i)
+		}
+	}
+}
+
+func TestBoundedDepthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for depth 0")
+		}
+	}()
+	NewBounded[int](0)
+}

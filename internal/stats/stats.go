@@ -1,0 +1,283 @@
+// Package stats collects packet-latency statistics with warmup handling,
+// broken down per application and per traffic kind (regional vs. global),
+// matching the measurements reported in the paper's evaluation (average
+// packet latency over a measurement window after warmup).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"rair/internal/msg"
+)
+
+// Dist accumulates a latency distribution. Samples are retained for exact
+// percentiles; evaluation windows are small enough (tens of thousands of
+// packets) that this is cheap.
+type Dist struct {
+	samples []float64
+	sum     float64
+	sorted  bool
+}
+
+// Add records one sample.
+func (d *Dist) Add(v float64) {
+	d.samples = append(d.samples, v)
+	d.sum += v
+	d.sorted = false
+}
+
+// Count reports the number of samples.
+func (d *Dist) Count() int { return len(d.samples) }
+
+// Mean reports the sample mean (0 with no samples).
+func (d *Dist) Mean() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	return d.sum / float64(len(d.samples))
+}
+
+// Percentile reports the p-th percentile (p in [0,100]); 0 with no samples.
+func (d *Dist) Percentile(p float64) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	if !d.sorted {
+		sort.Float64s(d.samples)
+		d.sorted = true
+	}
+	if p <= 0 {
+		return d.samples[0]
+	}
+	if p >= 100 {
+		return d.samples[len(d.samples)-1]
+	}
+	idx := p / 100 * float64(len(d.samples)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	frac := idx - float64(lo)
+	return d.samples[lo]*(1-frac) + d.samples[hi]*frac
+}
+
+// Max reports the largest sample (0 with no samples).
+func (d *Dist) Max() float64 { return d.Percentile(100) }
+
+// StdDev reports the sample standard deviation.
+func (d *Dist) StdDev() float64 {
+	n := len(d.samples)
+	if n < 2 {
+		return 0
+	}
+	m := d.Mean()
+	var ss float64
+	for _, v := range d.samples {
+		ss += (v - m) * (v - m)
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Collector subscribes to packet ejections and aggregates latency by
+// application and by traffic kind. Only packets created inside
+// [Warmup, MeasureEnd) are counted; MeasureEnd <= 0 means no upper bound.
+// By design the simulation keeps running (draining) after the measurement
+// window so that counted packets complete.
+type Collector struct {
+	Warmup     int64
+	MeasureEnd int64
+
+	total        Dist
+	network      Dist
+	hops         Dist
+	perApp       map[int]*Dist
+	perAppGlobal map[int]*Dist
+	regional     Dist
+	global       Dist
+	perClass     map[msg.Class]*Dist
+
+	flits   int64 // delivered flits of measured packets
+	packets int64
+}
+
+// NewCollector returns a collector measuring packets created in
+// [warmup, measureEnd).
+func NewCollector(warmup, measureEnd int64) *Collector {
+	return &Collector{
+		Warmup:       warmup,
+		MeasureEnd:   measureEnd,
+		perApp:       make(map[int]*Dist),
+		perAppGlobal: make(map[int]*Dist),
+		perClass:     make(map[msg.Class]*Dist),
+	}
+}
+
+// OnEject records a delivered packet; wire it as the network's ejection
+// callback.
+func (c *Collector) OnEject(p *msg.Packet, now int64) {
+	if p.CreatedAt < c.Warmup || (c.MeasureEnd > 0 && p.CreatedAt >= c.MeasureEnd) {
+		return
+	}
+	lat := float64(p.TotalLatency())
+	c.total.Add(lat)
+	c.network.Add(float64(p.NetworkLatency()))
+	c.hops.Add(float64(p.Hops))
+	app := c.perApp[p.App]
+	if app == nil {
+		app = &Dist{}
+		c.perApp[p.App] = app
+	}
+	app.Add(lat)
+	if p.Global {
+		c.global.Add(lat)
+		ag := c.perAppGlobal[p.App]
+		if ag == nil {
+			ag = &Dist{}
+			c.perAppGlobal[p.App] = ag
+		}
+		ag.Add(lat)
+	} else {
+		c.regional.Add(lat)
+	}
+	cls := c.perClass[p.Class]
+	if cls == nil {
+		cls = &Dist{}
+		c.perClass[p.Class] = cls
+	}
+	cls.Add(lat)
+	c.flits += int64(p.Size)
+	c.packets++
+}
+
+// Total returns the all-packets latency distribution.
+func (c *Collector) Total() *Dist { return &c.total }
+
+// Network returns the in-network (injection→ejection) latency distribution.
+func (c *Collector) Network() *Dist { return &c.network }
+
+// Hops returns the router-hop distribution.
+func (c *Collector) Hops() *Dist { return &c.hops }
+
+// App returns the latency distribution of one application (empty Dist if
+// the app delivered nothing).
+func (c *Collector) App(app int) *Dist {
+	if d, ok := c.perApp[app]; ok {
+		return d
+	}
+	return &Dist{}
+}
+
+// Apps lists the application ids with at least one measured packet, sorted.
+func (c *Collector) Apps() []int {
+	out := make([]int, 0, len(c.perApp))
+	for a := range c.perApp {
+		out = append(out, a)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// AppGlobal returns the latency distribution of one application's
+// inter-region traffic only.
+func (c *Collector) AppGlobal(app int) *Dist {
+	if d, ok := c.perAppGlobal[app]; ok {
+		return d
+	}
+	return &Dist{}
+}
+
+// Regional returns the intra-region traffic distribution.
+func (c *Collector) Regional() *Dist { return &c.regional }
+
+// Global returns the inter-region traffic distribution.
+func (c *Collector) Global() *Dist { return &c.global }
+
+// Class returns the latency distribution of a message class.
+func (c *Collector) Class(cl msg.Class) *Dist {
+	if d, ok := c.perClass[cl]; ok {
+		return d
+	}
+	return &Dist{}
+}
+
+// Packets reports the number of measured packets.
+func (c *Collector) Packets() int64 { return c.packets }
+
+// FlitThroughput reports measured flits delivered per node per cycle over
+// the measurement window of a nodes-node network.
+func (c *Collector) FlitThroughput(nodes int) float64 {
+	if c.MeasureEnd <= c.Warmup || nodes == 0 {
+		return 0
+	}
+	return float64(c.flits) / float64(c.MeasureEnd-c.Warmup) / float64(nodes)
+}
+
+// APL is shorthand for the average total packet latency.
+func (c *Collector) APL() float64 { return c.total.Mean() }
+
+// String summarizes the collector for logs.
+func (c *Collector) String() string {
+	return fmt.Sprintf("packets=%d APL=%.2f p95=%.1f hops=%.2f",
+		c.packets, c.APL(), c.total.Percentile(95), c.hops.Mean())
+}
+
+// Histogram renders an ASCII histogram of the distribution with the given
+// number of equal-width bins between min and max (clamped to [1, 40] bins).
+func (d *Dist) Histogram(bins int) string {
+	if len(d.samples) == 0 {
+		return "(no samples)\n"
+	}
+	if bins < 1 {
+		bins = 1
+	}
+	if bins > 40 {
+		bins = 40
+	}
+	lo, hi := d.Percentile(0), d.Percentile(100)
+	width := (hi - lo) / float64(bins)
+	if width <= 0 {
+		return fmt.Sprintf("%8.1f | all %d samples\n", lo, len(d.samples))
+	}
+	counts := make([]int, bins)
+	for _, v := range d.samples {
+		b := int((v - lo) / width)
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var sb strings.Builder
+	for b, c := range counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * 50 / maxCount
+		}
+		fmt.Fprintf(&sb, "%8.1f-%8.1f |%-50s %d\n",
+			lo+float64(b)*width, lo+float64(b+1)*width, strings.Repeat("#", bar), c)
+	}
+	return sb.String()
+}
+
+// Reduction reports the relative reduction of b versus baseline a:
+// (a-b)/a. Positive means b improved on a.
+func Reduction(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return (a - b) / a
+}
+
+// Slowdown reports b/a, the latency slowdown of b relative to a.
+func Slowdown(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return b / a
+}

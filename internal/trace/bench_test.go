@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"rair/internal/msg"
+)
+
+func benchTrace(n int) *Trace {
+	t := &Trace{}
+	for i := 0; i < n; i++ {
+		t.Add(Event{Cycle: int64(i / 3), App: int32(i % 4), Src: int32(i % 64),
+			Dst: int32((i * 7) % 64), Class: msg.Class(i % 2), Size: int32(1 + 4*(i%2))})
+	}
+	return t
+}
+
+func BenchmarkTraceWrite(b *testing.B) {
+	t := benchTrace(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := t.Write(&buf); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.Len()))
+	}
+}
+
+func BenchmarkTraceRead(b *testing.B) {
+	t := benchTrace(100000)
+	var buf bytes.Buffer
+	t.Write(&buf)
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package trace provides packet-level traffic traces: a compact binary
+// format, recording from live runs, and cycle-accurate replay. This is the
+// trace-driven methodology of the paper's application experiments: traffic
+// is captured once from the full-system memory model (standing in for the
+// SIMICS+GEMS captures) and replayed identically under every scheme so that
+// latency differences come from the network alone.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"rair/internal/msg"
+)
+
+// Event is one packet injection.
+type Event struct {
+	Cycle int64
+	App   int32
+	Src   int32
+	Dst   int32
+	Class msg.Class
+	Size  int32
+}
+
+// Trace is an ordered sequence of injections (non-decreasing cycles).
+type Trace struct {
+	Events []Event
+}
+
+// Len reports the event count.
+func (t *Trace) Len() int { return len(t.Events) }
+
+// Duration reports the cycle of the last event (0 when empty).
+func (t *Trace) Duration() int64 {
+	if len(t.Events) == 0 {
+		return 0
+	}
+	return t.Events[len(t.Events)-1].Cycle
+}
+
+// Add appends an event; callers should append in cycle order (Sort fixes
+// out-of-order appends).
+func (t *Trace) Add(e Event) { t.Events = append(t.Events, e) }
+
+// Sort orders events by cycle (stable, preserving same-cycle order).
+func (t *Trace) Sort() {
+	sort.SliceStable(t.Events, func(i, j int) bool { return t.Events[i].Cycle < t.Events[j].Cycle })
+}
+
+// Validate checks cycle monotonicity and field sanity for a mesh of n
+// nodes.
+func (t *Trace) Validate(n int) error {
+	var prev int64
+	for i, e := range t.Events {
+		switch {
+		case e.Cycle < prev:
+			return fmt.Errorf("trace: event %d cycle %d before %d", i, e.Cycle, prev)
+		case e.Src < 0 || int(e.Src) >= n || e.Dst < 0 || int(e.Dst) >= n:
+			return fmt.Errorf("trace: event %d endpoints %d->%d outside %d nodes", i, e.Src, e.Dst, n)
+		case e.Size < 1:
+			return fmt.Errorf("trace: event %d empty packet", i)
+		case e.Class < 0 || e.Class >= msg.NumClasses:
+			return fmt.Errorf("trace: event %d bad class %d", i, e.Class)
+		}
+		prev = e.Cycle
+	}
+	return nil
+}
+
+// magic identifies the binary trace format.
+var magic = [4]byte{'R', 'A', 'I', 'R'}
+
+const formatVersion = 1
+
+// Write encodes the trace: a header followed by varint-delta records.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(formatVersion); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(t.Events))); err != nil {
+		return err
+	}
+	var prev int64
+	for _, e := range t.Events {
+		if e.Cycle < prev {
+			return errors.New("trace: events not cycle-ordered; call Sort first")
+		}
+		for _, v := range []uint64{
+			uint64(e.Cycle - prev),
+			uint64(e.App),
+			uint64(e.Src),
+			uint64(e.Dst),
+			uint64(e.Class),
+			uint64(e.Size),
+		} {
+			if err := putUvarint(v); err != nil {
+				return err
+			}
+		}
+		prev = e.Cycle
+	}
+	return bw.Flush()
+}
+
+// Read decodes a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, errors.New("trace: not a RAIR trace file")
+	}
+	next := func() (uint64, error) { return binary.ReadUvarint(br) }
+	ver, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if ver != formatVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	count, err := next()
+	if err != nil {
+		return nil, err
+	}
+	const maxEvents = 1 << 30
+	if count > maxEvents {
+		return nil, fmt.Errorf("trace: implausible event count %d", count)
+	}
+	t := &Trace{Events: make([]Event, 0, count)}
+	var cycle int64
+	for i := uint64(0); i < count; i++ {
+		var vals [6]uint64
+		for j := range vals {
+			v, err := next()
+			if err != nil {
+				return nil, fmt.Errorf("trace: event %d field %d: %w", i, j, err)
+			}
+			vals[j] = v
+		}
+		cycle += int64(vals[0])
+		t.Events = append(t.Events, Event{
+			Cycle: cycle,
+			App:   int32(vals[1]),
+			Src:   int32(vals[2]),
+			Dst:   int32(vals[3]),
+			Class: msg.Class(vals[4]),
+			Size:  int32(vals[5]),
+		})
+	}
+	return t, nil
+}
+
+// Recorder captures injected packets into a trace. Hook Capture into the
+// traffic source's injection path.
+type Recorder struct {
+	T Trace
+}
+
+// Capture records one packet injection.
+func (r *Recorder) Capture(node int, p *msg.Packet, now int64) {
+	r.T.Add(Event{
+		Cycle: now,
+		App:   int32(p.App),
+		Src:   int32(p.Src),
+		Dst:   int32(p.Dst),
+		Class: p.Class,
+		Size:  int32(p.Size),
+	})
+}
+
+// Player replays a trace into a network, injecting each event at its
+// recorded cycle (plus Offset). It implements sim.Tickable; tick it before
+// the network.
+type Player struct {
+	trace  *Trace
+	inject func(node int, p *msg.Packet, now int64)
+	next   int
+	nextID uint64
+	// Offset shifts all event cycles (e.g. to skip a warmup gap).
+	Offset int64
+	// Repeat loops the trace when its end is reached, re-basing cycles;
+	// 0 plays once.
+	Repeat bool
+	base   int64
+}
+
+// NewPlayer builds a player over a validated trace.
+func NewPlayer(t *Trace, inject func(node int, p *msg.Packet, now int64)) *Player {
+	return &Player{trace: t, inject: inject}
+}
+
+// Done reports whether the trace is exhausted (never true with Repeat).
+func (p *Player) Done() bool { return !p.Repeat && p.next >= len(p.trace.Events) }
+
+// Injected reports how many events have been replayed.
+func (p *Player) Injected() uint64 { return p.nextID }
+
+// Tick implements sim.Tickable.
+func (p *Player) Tick(now int64) {
+	for {
+		if p.next >= len(p.trace.Events) {
+			if !p.Repeat || len(p.trace.Events) == 0 {
+				return
+			}
+			p.next = 0
+			p.base = now
+		}
+		e := p.trace.Events[p.next]
+		due := e.Cycle + p.Offset + p.base
+		if due > now {
+			return
+		}
+		p.next++
+		p.nextID++
+		p.inject(int(e.Src), &msg.Packet{
+			ID:    p.nextID,
+			App:   int(e.App),
+			Src:   int(e.Src),
+			Dst:   int(e.Dst),
+			Class: e.Class,
+			Size:  int(e.Size),
+		}, now)
+	}
+}

@@ -1,0 +1,228 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"rair/internal/msg"
+)
+
+func sample() *Trace {
+	t := &Trace{}
+	t.Add(Event{Cycle: 0, App: 0, Src: 1, Dst: 2, Class: msg.ClassRequest, Size: 1})
+	t.Add(Event{Cycle: 0, App: 1, Src: 3, Dst: 4, Class: msg.ClassResponse, Size: 5})
+	t.Add(Event{Cycle: 7, App: 0, Src: 2, Dst: 1, Class: msg.ClassRequest, Size: 1})
+	t.Add(Event{Cycle: 100000, App: 2, Src: 63, Dst: 0, Class: msg.ClassResponse, Size: 5})
+	return t
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.Events, got.Events) {
+		t.Fatalf("round trip mismatch:\n%v\n%v", tr.Events, got.Events)
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Trace{}).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil || got.Len() != 0 {
+		t.Fatalf("empty round trip: %v %v", got, err)
+	}
+}
+
+// Property: arbitrary ordered traces round-trip exactly.
+func TestRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(deltas []uint8, seeds []uint16) bool {
+		tr := &Trace{}
+		cycle := int64(0)
+		for i, d := range deltas {
+			cycle += int64(d)
+			var s uint16
+			if i < len(seeds) {
+				s = seeds[i]
+			}
+			tr.Add(Event{
+				Cycle: cycle,
+				App:   int32(s % 7),
+				Src:   int32(s % 64),
+				Dst:   int32((s >> 4) % 64),
+				Class: msg.Class(s % 2),
+				Size:  int32(s%5) + 1,
+			})
+		}
+		var buf bytes.Buffer
+		if tr.Write(&buf) != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(tr.Events) == 0 {
+			return got.Len() == 0
+		}
+		return reflect.DeepEqual(tr.Events, got.Events)
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteRejectsUnsorted(t *testing.T) {
+	tr := &Trace{}
+	tr.Add(Event{Cycle: 5, Size: 1})
+	tr.Add(Event{Cycle: 3, Size: 1})
+	if err := tr.Write(&bytes.Buffer{}); err == nil {
+		t.Fatal("unsorted trace accepted")
+	}
+	tr.Sort()
+	if err := tr.Write(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Truncated body.
+	tr := sample()
+	var buf bytes.Buffer
+	tr.Write(&buf)
+	b := buf.Bytes()
+	if _, err := Read(bytes.NewReader(b[:len(b)-2])); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tr := sample()
+	if err := tr.Validate(64); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Trace{}
+	bad.Add(Event{Cycle: 0, Src: 70, Dst: 0, Size: 1})
+	if bad.Validate(64) == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	bad2 := &Trace{}
+	bad2.Add(Event{Cycle: 5, Size: 1})
+	bad2.Add(Event{Cycle: 3, Size: 1})
+	if bad2.Validate(64) == nil {
+		t.Fatal("unsorted accepted")
+	}
+	bad3 := &Trace{}
+	bad3.Add(Event{Cycle: 0, Size: 0})
+	if bad3.Validate(64) == nil {
+		t.Fatal("empty packet accepted")
+	}
+	bad4 := &Trace{}
+	bad4.Add(Event{Cycle: 0, Size: 1, Class: 9})
+	if bad4.Validate(64) == nil {
+		t.Fatal("bad class accepted")
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	var r Recorder
+	r.Capture(1, &msg.Packet{App: 2, Src: 1, Dst: 9, Class: msg.ClassResponse, Size: 5}, 42)
+	if r.T.Len() != 1 {
+		t.Fatal("capture missed")
+	}
+	e := r.T.Events[0]
+	if e.Cycle != 42 || e.App != 2 || e.Src != 1 || e.Dst != 9 || e.Size != 5 {
+		t.Fatalf("event %+v", e)
+	}
+}
+
+type injected struct {
+	node int
+	pkt  *msg.Packet
+	now  int64
+}
+
+func TestPlayerTiming(t *testing.T) {
+	tr := sample()
+	var got []injected
+	p := NewPlayer(tr, func(node int, pkt *msg.Packet, now int64) {
+		got = append(got, injected{node, pkt, now})
+	})
+	for c := int64(0); c <= tr.Duration(); c++ {
+		p.Tick(c)
+	}
+	if !p.Done() {
+		t.Fatal("player not done")
+	}
+	if len(got) != tr.Len() {
+		t.Fatalf("injected %d of %d", len(got), tr.Len())
+	}
+	for i, e := range tr.Events {
+		g := got[i]
+		if g.now != e.Cycle || g.node != int(e.Src) || g.pkt.Dst != int(e.Dst) || g.pkt.App != int(e.App) {
+			t.Fatalf("event %d replayed wrong: %+v vs %+v", i, g, e)
+		}
+	}
+	if p.Injected() != uint64(tr.Len()) {
+		t.Fatal("Injected count wrong")
+	}
+}
+
+func TestPlayerOffset(t *testing.T) {
+	tr := &Trace{}
+	tr.Add(Event{Cycle: 10, Src: 0, Dst: 1, Size: 1})
+	var at int64 = -1
+	p := NewPlayer(tr, func(_ int, _ *msg.Packet, now int64) { at = now })
+	p.Offset = 5
+	for c := int64(0); c < 20; c++ {
+		p.Tick(c)
+	}
+	if at != 15 {
+		t.Fatalf("injected at %d, want 15", at)
+	}
+}
+
+func TestPlayerRepeat(t *testing.T) {
+	tr := &Trace{}
+	tr.Add(Event{Cycle: 0, Src: 0, Dst: 1, Size: 1})
+	tr.Add(Event{Cycle: 3, Src: 1, Dst: 0, Size: 1})
+	n := 0
+	p := NewPlayer(tr, func(int, *msg.Packet, int64) { n++ })
+	p.Repeat = true
+	for c := int64(0); c < 20; c++ {
+		p.Tick(c)
+	}
+	if p.Done() {
+		t.Fatal("repeating player reported done")
+	}
+	if n < 8 {
+		t.Fatalf("replayed %d events, want several loops", n)
+	}
+}
+
+func TestPlayerCatchesUpAfterGap(t *testing.T) {
+	// If ticks skip cycles (should not happen, but be robust), all due
+	// events fire.
+	tr := sample()
+	n := 0
+	p := NewPlayer(tr, func(int, *msg.Packet, int64) { n++ })
+	p.Tick(tr.Duration() + 1)
+	if n != tr.Len() {
+		t.Fatalf("caught up %d of %d", n, tr.Len())
+	}
+}

@@ -1,0 +1,161 @@
+// Package traffic generates the synthetic workloads of the evaluation:
+// uniform random, transpose, bit complement and hotspot patterns (Dally &
+// Towles), composed per application into the regionalized mixes of the
+// paper's scenarios (intra-region traffic, inter-region global traffic with
+// a configurable pattern, memory-controller traffic to/from the corners,
+// and chip-wide adversarial traffic). It also estimates saturation loads so
+// scenarios can be specified as fractions of saturation, as the paper does.
+package traffic
+
+import (
+	"rair/internal/region"
+	"rair/internal/sim"
+	"rair/internal/topology"
+)
+
+// Pattern chooses a destination for a packet from src. Implementations may
+// return src; callers resample or skip such draws (self-traffic never
+// enters the network).
+type Pattern interface {
+	Name() string
+	Dest(src int, rng *sim.RNG) int
+}
+
+// Uniform sends to a uniformly random node of Nodes (excluding src when
+// possible).
+type Uniform struct {
+	Nodes []int
+}
+
+// Name implements Pattern.
+func (Uniform) Name() string { return "UR" }
+
+// Dest implements Pattern.
+func (u Uniform) Dest(src int, rng *sim.RNG) int {
+	n := len(u.Nodes)
+	if n == 0 {
+		return src
+	}
+	pos := -1
+	for i, v := range u.Nodes {
+		if v == src {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return u.Nodes[rng.Intn(n)]
+	}
+	if n == 1 {
+		return src
+	}
+	idx := rng.Intn(n - 1)
+	if idx >= pos {
+		idx++
+	}
+	return u.Nodes[idx]
+}
+
+// Transpose sends (x,y) to (y,x) on a square mesh.
+type Transpose struct {
+	Mesh *topology.Mesh
+}
+
+// Name implements Pattern.
+func (Transpose) Name() string { return "TP" }
+
+// Dest implements Pattern.
+func (t Transpose) Dest(src int, _ *sim.RNG) int { return t.Mesh.Transpose(src) }
+
+// BitComplement sends node i to N-1-i.
+type BitComplement struct {
+	Mesh *topology.Mesh
+}
+
+// Name implements Pattern.
+func (BitComplement) Name() string { return "BC" }
+
+// Dest implements Pattern.
+func (b BitComplement) Dest(src int, _ *sim.RNG) int { return b.Mesh.BitComplement(src) }
+
+// Hotspot sends to one of the hotspot nodes with probability Frac, else
+// defers to Background.
+type Hotspot struct {
+	Hotspots   []int
+	Frac       float64
+	Background Pattern
+}
+
+// Name implements Pattern.
+func (Hotspot) Name() string { return "HS" }
+
+// Dest implements Pattern.
+func (h Hotspot) Dest(src int, rng *sim.RNG) int {
+	if len(h.Hotspots) > 0 && rng.Bool(h.Frac) {
+		return h.Hotspots[rng.Intn(len(h.Hotspots))]
+	}
+	if h.Background != nil {
+		return h.Background.Dest(src, rng)
+	}
+	return src
+}
+
+// InterRegion adapts a chip-wide pattern into inter-region ("global")
+// traffic: if the base pattern lands inside src's own region, the draw
+// falls back to a uniform choice among out-of-region nodes, so the traffic
+// is always global (the paper's global-traffic component) while preserving
+// the base pattern's shape everywhere it already crosses regions.
+type InterRegion struct {
+	Base    Pattern
+	Regions *region.Map
+}
+
+// Name implements Pattern.
+func (p InterRegion) Name() string { return "Inter" + p.Base.Name() }
+
+// Dest implements Pattern.
+func (p InterRegion) Dest(src int, rng *sim.RNG) int {
+	d := p.Base.Dest(src, rng)
+	if p.Regions.Global(src, d) && d != src {
+		return d
+	}
+	mesh := p.Regions.Mesh()
+	for i := 0; i < 16; i++ {
+		d = rng.Intn(mesh.N())
+		if d != src && p.Regions.Global(src, d) {
+			return d
+		}
+	}
+	return src
+}
+
+// PatternByName builds one of the four synthetic global-traffic patterns
+// from the paper's Figure 15 over the given mesh: "UR", "TP", "BC" or "HS".
+// Hotspot sends 25% of draws to four interior hotspot nodes (one per
+// quadrant, at the quarter points), background uniform random; interior
+// hotspots keep the pattern distinct from the corner memory-controller
+// traffic every scenario already carries.
+func PatternByName(name string, mesh *topology.Mesh) Pattern {
+	all := make([]int, mesh.N())
+	for i := range all {
+		all[i] = i
+	}
+	switch name {
+	case "UR":
+		return Uniform{Nodes: all}
+	case "TP":
+		return Transpose{Mesh: mesh}
+	case "BC":
+		return BitComplement{Mesh: mesh}
+	case "HS":
+		qx, qy := mesh.W/4, mesh.H/4
+		hs := []int{
+			mesh.ID(topology.Coord{X: qx, Y: qy}),
+			mesh.ID(topology.Coord{X: mesh.W - 1 - qx, Y: qy}),
+			mesh.ID(topology.Coord{X: qx, Y: mesh.H - 1 - qy}),
+			mesh.ID(topology.Coord{X: mesh.W - 1 - qx, Y: mesh.H - 1 - qy}),
+		}
+		return Hotspot{Hotspots: hs, Frac: 0.25, Background: Uniform{Nodes: all}}
+	}
+	panic("traffic: unknown pattern " + name)
+}

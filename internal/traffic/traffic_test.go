@@ -1,0 +1,315 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"rair/internal/msg"
+	"rair/internal/region"
+	"rair/internal/sim"
+	"rair/internal/topology"
+)
+
+func mesh8() *topology.Mesh { return topology.NewMesh(8, 8) }
+
+func TestUniformExcludesSelf(t *testing.T) {
+	u := Uniform{Nodes: []int{3, 7}}
+	rng := sim.NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if d := u.Dest(3, rng); d != 7 {
+			t.Fatalf("dest = %d", d)
+		}
+	}
+	// Single-node set can only return that node.
+	one := Uniform{Nodes: []int{5}}
+	if one.Dest(5, rng) != 5 {
+		t.Fatal("single-node set")
+	}
+	// Empty set returns src (callers skip it).
+	if (Uniform{}).Dest(9, rng) != 9 {
+		t.Fatal("empty set")
+	}
+}
+
+func TestUniformCoversNodes(t *testing.T) {
+	nodes := []int{0, 1, 2, 3, 4}
+	u := Uniform{Nodes: nodes}
+	rng := sim.NewRNG(2)
+	seen := map[int]int{}
+	for i := 0; i < 5000; i++ {
+		seen[u.Dest(0, rng)]++
+	}
+	for _, n := range nodes[1:] {
+		if seen[n] < 800 {
+			t.Fatalf("node %d drawn %d times", n, seen[n])
+		}
+	}
+	if seen[0] > 100 {
+		t.Fatalf("self drawn %d times", seen[0])
+	}
+}
+
+func TestDeterministicPatterns(t *testing.T) {
+	m := mesh8()
+	tp := Transpose{Mesh: m}
+	if tp.Dest(m.ID(topology.Coord{X: 2, Y: 5}), nil) != m.ID(topology.Coord{X: 5, Y: 2}) {
+		t.Fatal("transpose")
+	}
+	bc := BitComplement{Mesh: m}
+	if bc.Dest(0, nil) != 63 {
+		t.Fatal("bit complement")
+	}
+}
+
+func TestHotspot(t *testing.T) {
+	all := make([]int, 64)
+	for i := range all {
+		all[i] = i
+	}
+	h := Hotspot{Hotspots: []int{0}, Frac: 0.5, Background: Uniform{Nodes: all}}
+	rng := sim.NewRNG(3)
+	hits := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		if h.Dest(30, rng) == 0 {
+			hits++
+		}
+	}
+	frac := float64(hits) / trials
+	if math.Abs(frac-0.5) > 0.03 { // 0.5 hotspot + tiny UR mass on node 0
+		t.Fatalf("hotspot fraction %v", frac)
+	}
+}
+
+func TestInterRegionAlwaysGlobal(t *testing.T) {
+	regs := region.Quadrants(mesh8())
+	all := make([]int, 64)
+	for i := range all {
+		all[i] = i
+	}
+	p := InterRegion{Base: Uniform{Nodes: all}, Regions: regs}
+	rng := sim.NewRNG(4)
+	for i := 0; i < 2000; i++ {
+		src := rng.Intn(64)
+		d := p.Dest(src, rng)
+		if d == src || !regs.Global(src, d) {
+			t.Fatalf("draw %d: %d->%d not global", i, src, d)
+		}
+	}
+}
+
+func TestInterRegionPreservesCrossPattern(t *testing.T) {
+	// Transpose from (1,6) already crosses quadrants; it must be kept.
+	m := mesh8()
+	regs := region.Quadrants(m)
+	p := InterRegion{Base: Transpose{Mesh: m}, Regions: regs}
+	src := m.ID(topology.Coord{X: 1, Y: 6})
+	rng := sim.NewRNG(5)
+	if d := p.Dest(src, rng); d != m.Transpose(src) {
+		t.Fatalf("dest = %d, want transpose %d", d, m.Transpose(src))
+	}
+}
+
+func TestPatternByName(t *testing.T) {
+	m := mesh8()
+	for _, name := range []string{"UR", "TP", "BC", "HS"} {
+		if p := PatternByName(name, m); p == nil || p.Name() == "" {
+			t.Fatalf("pattern %s", name)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown name must panic")
+		}
+	}()
+	PatternByName("XX", m)
+}
+
+// collectInjector records generated packets.
+type collected struct {
+	pkts  []*msg.Packet
+	nodes []int
+}
+
+func (c *collected) inject(node int, p *msg.Packet, now int64) {
+	c.pkts = append(c.pkts, p)
+	c.nodes = append(c.nodes, node)
+}
+
+func TestGeneratorRateAndMix(t *testing.T) {
+	regs := region.Halves(mesh8())
+	app := AppTraffic{
+		App: 0, Nodes: regs.Nodes(0), PacketRate: 0.1,
+		Components: []Component{
+			{Weight: 0.75, Draw: IntraUR(regs.Nodes(0)).Draw},
+			{Weight: 0.25, Draw: InterPattern(regs, PatternByName("UR", regs.Mesh())).Draw},
+		},
+	}
+	var c collected
+	g := NewGenerator([]AppTraffic{app}, 42, c.inject)
+	const cycles = 5000
+	for now := int64(0); now < cycles; now++ {
+		g.Tick(now)
+	}
+	want := 0.1 * 32 * cycles
+	if got := float64(len(c.pkts)); math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("generated %v packets, want ≈%v", got, want)
+	}
+	inter, short := 0, 0
+	for _, p := range c.pkts {
+		if p.App != 0 || p.Src == p.Dst {
+			t.Fatalf("bad packet %v", p)
+		}
+		if regs.Global(p.Src, p.Dst) {
+			inter++
+		}
+		if p.Size == 1 {
+			short++
+		} else if p.Size != 5 {
+			t.Fatalf("packet size %d", p.Size)
+		}
+	}
+	if f := float64(inter) / float64(len(c.pkts)); math.Abs(f-0.25) > 0.03 {
+		t.Fatalf("inter-region fraction %v, want ≈0.25", f)
+	}
+	if f := float64(short) / float64(len(c.pkts)); math.Abs(f-0.5) > 0.03 {
+		t.Fatalf("short fraction %v, want ≈0.5", f)
+	}
+	if g.Created() != uint64(len(c.pkts)) {
+		t.Fatal("Created mismatch")
+	}
+}
+
+func TestGeneratorUntil(t *testing.T) {
+	app := AppTraffic{App: 0, Nodes: []int{0, 1}, PacketRate: 1,
+		Components: []Component{IntraUR([]int{0, 1})}}
+	var c collected
+	g := NewGenerator([]AppTraffic{app}, 1, c.inject)
+	g.Until = 10
+	for now := int64(0); now < 100; now++ {
+		g.Tick(now)
+	}
+	if len(c.pkts) != 20 {
+		t.Fatalf("generated %d, want 20", len(c.pkts))
+	}
+}
+
+func TestGeneratorSplitClasses(t *testing.T) {
+	app := AppTraffic{App: 0, Nodes: []int{0, 1, 2, 3}, PacketRate: 1,
+		Components: []Component{IntraUR([]int{0, 1, 2, 3})}, SplitClasses: true}
+	var c collected
+	g := NewGenerator([]AppTraffic{app}, 9, c.inject)
+	for now := int64(0); now < 200; now++ {
+		g.Tick(now)
+	}
+	for _, p := range c.pkts {
+		if p.Size == 1 && p.Class != msg.ClassRequest {
+			t.Fatal("short packet must be request class")
+		}
+		if p.Size == 5 && p.Class != msg.ClassResponse {
+			t.Fatal("long packet must be response class")
+		}
+	}
+}
+
+func TestMCCornersComponent(t *testing.T) {
+	m := mesh8()
+	comp := MCCorners(m)
+	rng := sim.NewRNG(6)
+	corners := map[int]bool{0: true, 7: true, 56: true, 63: true}
+	toMC, fromMC := 0, 0
+	for i := 0; i < 2000; i++ {
+		src, dst := comp.Draw(30, rng)
+		switch {
+		case src == 30 && corners[dst]:
+			toMC++
+		case corners[src] && dst == 30:
+			fromMC++
+		default:
+			t.Fatalf("draw %d->%d not MC traffic", src, dst)
+		}
+	}
+	if toMC < 800 || fromMC < 800 {
+		t.Fatalf("unbalanced MC traffic: %d to, %d from", toMC, fromMC)
+	}
+}
+
+func TestDirectedTo(t *testing.T) {
+	comp := DirectedTo([]int{40, 41})
+	rng := sim.NewRNG(7)
+	for i := 0; i < 100; i++ {
+		src, dst := comp.Draw(3, rng)
+		if src != 3 || (dst != 40 && dst != 41) {
+			t.Fatalf("draw %d->%d", src, dst)
+		}
+	}
+}
+
+func TestAdversary(t *testing.T) {
+	adv := Adversary(mesh8(), 99, 0.13)
+	if len(adv.Nodes) != 64 || adv.App != 99 || adv.PacketRate != 0.13 {
+		t.Fatalf("adversary %+v", adv)
+	}
+}
+
+func TestSaturationRateUniform(t *testing.T) {
+	// 8x8 UR with XY: the bisection bound gives 0.5 flits/node/cycle
+	// (16λ/2 over 8 channels), i.e. ≈0.167 packets/node/cycle at the
+	// average 3 flits/packet.
+	m := mesh8()
+	all := make([]int, 64)
+	for i := range all {
+		all[i] = i
+	}
+	app := AppTraffic{App: 0, Nodes: all, Components: []Component{IntraUR(all)}}
+	r := SaturationRate(m, app, 2000, 1)
+	if r < 0.14 || r > 0.18 {
+		t.Fatalf("UR saturation = %v packets/node/cycle, want ≈0.167", r)
+	}
+}
+
+func TestSaturationRateHotspotLower(t *testing.T) {
+	m := mesh8()
+	all := make([]int, 64)
+	for i := range all {
+		all[i] = i
+	}
+	ur := AppTraffic{App: 0, Nodes: all, Components: []Component{IntraUR(all)}}
+	hs := AppTraffic{App: 0, Nodes: all, Components: []Component{
+		{Weight: 1, Draw: func(node int, rng *sim.RNG) (int, int) {
+			return node, PatternByName("HS", m).Dest(node, rng)
+		}},
+	}}
+	rUR := SaturationRate(m, ur, 2000, 1)
+	rHS := SaturationRate(m, hs, 2000, 1)
+	if rHS >= rUR {
+		t.Fatalf("hotspot saturation %v must be below UR %v", rHS, rUR)
+	}
+}
+
+func TestSaturationRateRegionHigherThanChip(t *testing.T) {
+	// Intra-quadrant UR travels shorter distances: higher saturation rate
+	// than chip-wide UR.
+	m := mesh8()
+	regs := region.Quadrants(m)
+	all := make([]int, 64)
+	for i := range all {
+		all[i] = i
+	}
+	chip := AppTraffic{App: 0, Nodes: all, Components: []Component{IntraUR(all)}}
+	quad := AppTraffic{App: 0, Nodes: regs.Nodes(0), Components: []Component{IntraUR(regs.Nodes(0))}}
+	if rq, rc := SaturationRate(m, quad, 2000, 1), SaturationRate(m, chip, 2000, 1); rq <= rc {
+		t.Fatalf("region saturation %v must exceed chip %v", rq, rc)
+	}
+}
+
+func TestSaturationRateEdgeCases(t *testing.T) {
+	m := mesh8()
+	if SaturationRate(m, AppTraffic{}, 100, 1) != 0 {
+		t.Fatal("no nodes must be 0")
+	}
+	app := AppTraffic{App: 0, Nodes: []int{0}, Components: []Component{IntraUR([]int{0})}}
+	if SaturationRate(m, app, 100, 1) != 0 {
+		t.Fatal("self-only traffic must be 0")
+	}
+}

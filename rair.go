@@ -1,0 +1,505 @@
+// Package rair is a cycle-accurate simulator for region-aware interference
+// reduction in regionalized networks-on-chip (RNoCs), reproducing the
+// system of Chen, Hwang and Pinkston, "RAIR: Interference Reduction in
+// Regionalized Networks-on-Chip" (IPDPS 2013).
+//
+// The library models a mesh of canonical five-stage virtual-channel
+// wormhole routers (RC, VA, SA, ST, LT) with credit-based flow control,
+// Duato-style adaptive routing, and pluggable interference-reduction
+// policies:
+//
+//   - RO_RR: region-oblivious round-robin (baseline)
+//   - RO_Rank: idealized STC (oracle application ranking + batching)
+//   - RA_DBAR: region-clipped congestion-aware adaptive routing
+//   - RA_RAIR: the paper's technique — VC regionalization, multi-stage
+//     prioritization and dynamic priority adaptation — plus its ablations
+//
+// Traffic comes from synthetic generators (uniform random, transpose, bit
+// complement, hotspot, composed per application into regionalized mixes),
+// from a Table 1 memory-system model driven by PARSEC-proxy workloads, or
+// from recorded packet traces.
+//
+// Basic use:
+//
+//	sim, err := rair.New(rair.Config{Layout: rair.LayoutHalves, Scheme: "RA_RAIR"})
+//	...
+//	sim.AddApp(rair.AppSpec{App: 0, LoadFrac: 0.1, GlobalFrac: 0.2})
+//	sim.AddApp(rair.AppSpec{App: 1, LoadFrac: 0.9})
+//	report := sim.Run(rair.Phases{Warmup: 10000, Measure: 100000, Drain: 20000})
+//	fmt.Println(report)
+//
+// The paper's full evaluation is available through Experiment and the
+// rairbench command.
+package rair
+
+import (
+	"fmt"
+
+	"rair/internal/harness"
+	"rair/internal/memsys"
+	"rair/internal/msg"
+	"rair/internal/network"
+	"rair/internal/region"
+	"rair/internal/router"
+	"rair/internal/routing"
+	"rair/internal/sim"
+	"rair/internal/stats"
+	"rair/internal/topology"
+	"rair/internal/traffic"
+	"rair/internal/workload"
+)
+
+// Layout selects a predefined region layout.
+type Layout string
+
+// Predefined layouts on the configured mesh.
+const (
+	// LayoutSingle is one region covering the whole chip (a conventional
+	// NoC).
+	LayoutSingle Layout = "single"
+	// LayoutHalves is two applications on left/right halves.
+	LayoutHalves Layout = "halves"
+	// LayoutQuadrants is four applications on quadrants.
+	LayoutQuadrants Layout = "quadrants"
+	// LayoutSixGrid is six applications on a 3×2 grid of regions.
+	LayoutSixGrid Layout = "sixgrid"
+	// LayoutCustom uses Config.Rects.
+	LayoutCustom Layout = "custom"
+)
+
+// Rect is a half-open node rectangle for LayoutCustom: x in [X0,X1), y in
+// [Y0,Y1).
+type Rect struct{ X0, Y0, X1, Y1 int }
+
+// Config describes a simulation.
+type Config struct {
+	// MeshW, MeshH are the mesh dimensions (default 8×8).
+	MeshW, MeshH int
+	// Layout picks the region layout (default LayoutSingle); Rects is
+	// used with LayoutCustom, assigning app i to Rects[i].
+	Layout Layout
+	Rects  []Rect
+
+	// Scheme names the interference-reduction technique: "RO_RR",
+	// "RO_Rank", "RA_DBAR", "RA_RAIR", "RAIR_VA", "RAIR_NativeH",
+	// "RAIR_ForeignH" (default "RO_RR").
+	Scheme string
+	// Routing selects the routing algorithm: "adaptive" (minimal
+	// adaptive with Duato escape VCs, the default), "xy", "westfirst",
+	// or "lbdr" — the restricted baseline that confines every packet to
+	// its region and requires each region to contain a corner memory
+	// controller (Section III.B). Under "lbdr" only intra-region traffic
+	// can be expressed.
+	Routing string
+	// Ranks is RO_Rank's oracle ranking (rank per app id, 0 = highest
+	// priority). Defaults to app order.
+	Ranks []int
+	// Delta overrides RAIR's DPA hysteresis width (default 0.2).
+	Delta float64
+
+	// Router microarchitecture overrides; zero values take the Table 1
+	// defaults (4 adaptive VCs of which 2 global + 1 escape VC per
+	// class, 5-flit buffers).
+	Classes     int
+	AdaptiveVCs int
+	GlobalVCs   int
+	EscapeVCs   int
+	Depth       int
+	LinkLatency int
+
+	// Seed fixes all randomness (default 1).
+	Seed uint64
+}
+
+// AppSpec describes one synthetic application's traffic.
+type AppSpec struct {
+	// App is the application id; by default it injects from its own
+	// region's nodes.
+	App int
+	// LoadFrac is the injection rate as a fraction of this traffic mix's
+	// achieved saturation load. Exactly one of LoadFrac or PacketRate
+	// must be set.
+	LoadFrac float64
+	// PacketRate sets the absolute rate in packets per node per cycle.
+	PacketRate float64
+	// GlobalFrac is the fraction of traffic crossing regions (default 0)
+	// and GlobalPattern its pattern: "UR" (default), "TP", "BC", "HS".
+	GlobalFrac    float64
+	GlobalPattern string
+	// MCFrac is the fraction of traffic to/from the corner memory
+	// controllers (default 0). The remainder (1-GlobalFrac-MCFrac) is
+	// intra-region uniform random.
+	MCFrac float64
+}
+
+// Phases are the simulation phases in cycles.
+type Phases struct {
+	Warmup  int64
+	Measure int64
+	Drain   int64
+}
+
+// PaperPhases returns the evaluation setting of the paper (10K warmup,
+// 100K measure).
+func PaperPhases() Phases { return Phases{Warmup: 10000, Measure: 100000, Drain: 20000} }
+
+// QuickPhases returns a fast setting for smoke runs.
+func QuickPhases() Phases { return Phases{Warmup: 2000, Measure: 10000, Drain: 10000} }
+
+// Simulation is a configured chip ready to run.
+type Simulation struct {
+	cfg     Config
+	regions *region.Map
+	rcfg    router.Config
+	scheme  harness.Scheme
+	alg     routing.Algorithm // overrides the scheme's default when set
+
+	apps      []traffic.AppTraffic
+	parsec    bool
+	adversary float64
+}
+
+// New validates the configuration and builds a simulation.
+func New(cfg Config) (*Simulation, error) {
+	if cfg.MeshW == 0 {
+		cfg.MeshW = 8
+	}
+	if cfg.MeshH == 0 {
+		cfg.MeshH = 8
+	}
+	if cfg.MeshW < 2 || cfg.MeshH < 2 {
+		return nil, fmt.Errorf("rair: mesh %dx%d too small", cfg.MeshW, cfg.MeshH)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	mesh := topology.NewMesh(cfg.MeshW, cfg.MeshH)
+	var regs *region.Map
+	var err error
+	switch cfg.Layout {
+	case LayoutSingle, "":
+		regs = region.Single(mesh)
+	case LayoutHalves:
+		regs = region.Halves(mesh)
+	case LayoutQuadrants:
+		regs = region.Quadrants(mesh)
+	case LayoutSixGrid:
+		regs = region.SixGrid(mesh)
+	case LayoutCustom:
+		rects := make([]region.Rect, len(cfg.Rects))
+		for i, r := range cfg.Rects {
+			rects[i] = region.Rect(r)
+		}
+		regs, err = region.FromRects(mesh, rects)
+		if err != nil {
+			return nil, err
+		}
+		if err := regs.Validate(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("rair: unknown layout %q", cfg.Layout)
+	}
+
+	rcfg := router.DefaultConfig(1)
+	if cfg.Classes > 0 {
+		rcfg = router.DefaultConfig(cfg.Classes)
+	}
+	if cfg.AdaptiveVCs > 0 {
+		rcfg.AdaptiveVCs = cfg.AdaptiveVCs
+		rcfg.GlobalVCs = cfg.AdaptiveVCs / 2
+	}
+	if cfg.GlobalVCs > 0 {
+		rcfg.GlobalVCs = cfg.GlobalVCs
+	}
+	if cfg.EscapeVCs > 0 {
+		rcfg.EscapeVCs = cfg.EscapeVCs
+	}
+	if cfg.Depth > 0 {
+		rcfg.Depth = cfg.Depth
+	}
+	if cfg.LinkLatency > 0 {
+		rcfg.LinkLatency = cfg.LinkLatency
+	}
+	if err := rcfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	scheme, err := schemeByName(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulation{cfg: cfg, regions: regs, rcfg: rcfg, scheme: scheme}
+	switch cfg.Routing {
+	case "", "adaptive":
+	case "xy":
+		s.alg = routing.XY{Mesh: mesh}
+	case "westfirst":
+		s.alg = routing.WestFirst{Mesh: mesh}
+	case "lbdr":
+		corners := mesh.Corners()
+		lbdr, err := routing.NewLBDR(regs, corners[:])
+		if err != nil {
+			return nil, err
+		}
+		s.alg = lbdr
+	default:
+		return nil, fmt.Errorf("rair: unknown routing %q", cfg.Routing)
+	}
+	return s, nil
+}
+
+// lbdrRestricted reports whether the simulation runs under LBDR's
+// intra-region-only restriction.
+func (s *Simulation) lbdrRestricted() bool {
+	_, ok := s.alg.(routing.LBDR)
+	return ok
+}
+
+func schemeByName(cfg Config) (harness.Scheme, error) {
+	ranks := cfg.Ranks
+	if ranks == nil {
+		n := 8
+		ranks = make([]int, n)
+		for i := range ranks {
+			ranks[i] = i
+		}
+	}
+	switch cfg.Scheme {
+	case "", "RO_RR":
+		return harness.RORR(), nil
+	case "RO_Rank":
+		return harness.RORank(ranks), nil
+	case "RA_DBAR":
+		return harness.RORRDBAR("RA_DBAR"), nil
+	case "RA_RAIR":
+		if cfg.Delta > 0 {
+			return harness.RAIRDelta(cfg.Delta), nil
+		}
+		return harness.RAIR("RA_RAIR"), nil
+	case "RAIR_DBAR":
+		return harness.RAIRDBAR("RAIR_DBAR"), nil
+	case "RAIR_VA":
+		return harness.RAIRVA(), nil
+	case "RAIR_NativeH":
+		return harness.RAIRNativeH(), nil
+	case "RAIR_ForeignH":
+		return harness.RAIRForeignH(), nil
+	}
+	return harness.Scheme{}, fmt.Errorf("rair: unknown scheme %q", cfg.Scheme)
+}
+
+// Schemes lists the recognized scheme names.
+func Schemes() []string {
+	return []string{"RO_RR", "RO_Rank", "RA_DBAR", "RA_RAIR", "RAIR_DBAR", "RAIR_VA", "RAIR_NativeH", "RAIR_ForeignH"}
+}
+
+// AddApp attaches a synthetic application. The app id must have nodes in
+// the layout.
+func (s *Simulation) AddApp(spec AppSpec) error {
+	if s.parsec {
+		return fmt.Errorf("rair: cannot mix AddApp with AttachPARSEC")
+	}
+	nodes := s.regions.Nodes(spec.App)
+	if len(nodes) == 0 {
+		return fmt.Errorf("rair: app %d owns no nodes in layout %q", spec.App, s.cfg.Layout)
+	}
+	if spec.GlobalFrac < 0 || spec.MCFrac < 0 || spec.GlobalFrac+spec.MCFrac > 1 {
+		return fmt.Errorf("rair: app %d traffic fractions out of range", spec.App)
+	}
+	if s.lbdrRestricted() && (spec.GlobalFrac > 0 || spec.MCFrac > 0) {
+		return fmt.Errorf("rair: LBDR routing cannot express app %d's inter-region traffic (GlobalFrac/MCFrac must be 0)", spec.App)
+	}
+	if (spec.LoadFrac <= 0) == (spec.PacketRate <= 0) {
+		return fmt.Errorf("rair: app %d must set exactly one of LoadFrac or PacketRate", spec.App)
+	}
+	mesh := s.regions.Mesh()
+	pat := spec.GlobalPattern
+	if pat == "" {
+		pat = "UR"
+	}
+	comps := []traffic.Component{}
+	if intra := 1 - spec.GlobalFrac - spec.MCFrac; intra > 0 {
+		c := traffic.IntraUR(nodes)
+		c.Weight = intra
+		comps = append(comps, c)
+	}
+	if spec.GlobalFrac > 0 {
+		c := traffic.InterPattern(s.regions, traffic.PatternByName(pat, mesh))
+		c.Weight = spec.GlobalFrac
+		comps = append(comps, c)
+	}
+	if spec.MCFrac > 0 {
+		c := traffic.MCCorners(mesh)
+		c.Weight = spec.MCFrac
+		comps = append(comps, c)
+	}
+	app := traffic.AppTraffic{App: spec.App, Nodes: nodes, Components: comps}
+	if spec.PacketRate > 0 {
+		app.PacketRate = spec.PacketRate
+	} else {
+		app.PacketRate = spec.LoadFrac * harness.SatEfficiency *
+			traffic.SaturationRate(mesh, app, 1000, 0xfeed)
+	}
+	s.apps = append(s.apps, app)
+	return nil
+}
+
+// AttachPARSEC replaces synthetic applications with the PARSEC-proxy
+// workloads over the Table 1 memory system: application i of the layout
+// runs workload.Profiles()[i mod 4].
+func (s *Simulation) AttachPARSEC() error {
+	if len(s.apps) > 0 {
+		return fmt.Errorf("rair: cannot mix AttachPARSEC with AddApp")
+	}
+	if s.cfg.Classes != 0 && s.cfg.Classes < int(msg.NumClasses) {
+		return fmt.Errorf("rair: PARSEC workloads need %d message classes", msg.NumClasses)
+	}
+	if s.lbdrRestricted() {
+		return fmt.Errorf("rair: LBDR routing cannot express the memory system's inter-region traffic")
+	}
+	s.rcfg = router.DefaultConfig(int(msg.NumClasses))
+	s.parsec = true
+	return nil
+}
+
+// AddAdversary injects chip-wide uniform-random traffic at the given rate
+// in flits per node per cycle under an application id owned by no region.
+func (s *Simulation) AddAdversary(flitRate float64) error {
+	if flitRate <= 0 {
+		return fmt.Errorf("rair: adversary rate must be positive")
+	}
+	if s.lbdrRestricted() {
+		return fmt.Errorf("rair: LBDR routing cannot express chip-wide adversarial traffic")
+	}
+	s.adversary = flitRate
+	return nil
+}
+
+// Report is the outcome of a run.
+type Report struct {
+	// APL is the average packet latency over all measured packets.
+	APL float64
+	// PerApp maps application id to its APL.
+	PerApp map[int]float64
+	// RegionalAPL and GlobalAPL split APL by traffic kind.
+	RegionalAPL, GlobalAPL float64
+	// Packets is the measured packet count; Throughput the delivered
+	// flits per node per cycle.
+	Packets    int64
+	Throughput float64
+	// P95, P99 are latency percentiles.
+	P95, P99 float64
+	// AvgHops is the mean router-traversal count.
+	AvgHops float64
+	// LatencyHistogram is an ASCII histogram of the measured latencies.
+	LatencyHistogram string
+	// Heatmap is an ASCII map of per-router link utilization.
+	Heatmap string
+}
+
+func (r *Report) String() string {
+	out := fmt.Sprintf("APL %.2f cycles (p95 %.1f, p99 %.1f) over %d packets, %.3f flits/node/cycle, %.2f hops\n",
+		r.APL, r.P95, r.P99, r.Packets, r.Throughput, r.AvgHops)
+	for app := 0; app < 16; app++ {
+		if apl, ok := r.PerApp[app]; ok {
+			out += fmt.Sprintf("  app %d: APL %.2f\n", app, apl)
+		}
+	}
+	if r.RegionalAPL > 0 || r.GlobalAPL > 0 {
+		out += fmt.Sprintf("  regional %.2f / global %.2f\n", r.RegionalAPL, r.GlobalAPL)
+	}
+	return out
+}
+
+// Run executes the simulation and collects statistics over the measurement
+// window. It is deterministic for a fixed Config.Seed.
+func (s *Simulation) Run(ph Phases) (*Report, error) {
+	if ph.Warmup < 0 || ph.Measure <= 0 {
+		return nil, fmt.Errorf("rair: need a positive measurement window")
+	}
+	if !s.parsec && len(s.apps) == 0 {
+		return nil, fmt.Errorf("rair: no traffic attached (AddApp, AttachPARSEC)")
+	}
+	col := stats.NewCollector(ph.Warmup, ph.Warmup+ph.Measure)
+	mesh := s.regions.Mesh()
+
+	var sys *memsys.System
+	adversaryApp := s.regions.NumApps() + 64 // foreign everywhere
+	alg := s.alg
+	if alg == nil {
+		alg = s.scheme.Alg(mesh)
+	}
+	net := network.New(network.Params{
+		Router:  s.rcfg,
+		Regions: s.regions,
+		Alg:     alg,
+		Sel:     s.scheme.Sel(s.regions, s.rcfg),
+		Policy:  s.scheme.Policy,
+		OnEject: func(p *msg.Packet, now int64) {
+			if sys != nil {
+				sys.HandleEject(p, now)
+			}
+			if p.App != adversaryApp {
+				col.OnEject(p, now)
+			}
+		},
+	})
+	inject := func(node int, p *msg.Packet, now int64) { net.NI(node).Inject(p, now) }
+
+	var tickers []func(now int64)
+	if s.parsec {
+		profiles := workload.Profiles()
+		streams := make([]memsys.AddressStream, mesh.N())
+		for node := range streams {
+			app := s.regions.AppAt(node)
+			if app >= 0 {
+				streams[node] = workload.NewStream(profiles[app%len(profiles)], app, node)
+			}
+		}
+		sys = memsys.New(memsys.DefaultSystemConfig(), s.regions, streams, s.cfg.Seed, inject)
+		sys.Prewarm(harness.PrewarmAccesses)
+		tickers = append(tickers, sys.Tick)
+	}
+	end := ph.Warmup + ph.Measure
+	if len(s.apps) > 0 {
+		gen := traffic.NewGenerator(s.apps, s.cfg.Seed, inject)
+		gen.Until = end
+		tickers = append(tickers, gen.Tick)
+	}
+	if s.adversary > 0 {
+		adv := traffic.NewGenerator(
+			[]traffic.AppTraffic{traffic.Adversary(mesh, adversaryApp, s.adversary/3)},
+			s.cfg.Seed^0xadadad, inject)
+		adv.Until = end
+		tickers = append(tickers, adv.Tick)
+	}
+
+	eng := sim.NewEngine()
+	for _, t := range tickers {
+		eng.Register(sim.TickFunc(t))
+	}
+	eng.Register(net)
+	eng.Run(end)
+	// Drain: generators self-stop at Until; the memory system keeps
+	// ticking so in-flight protocol actions complete.
+	eng.RunUntil(net.Drained, ph.Drain)
+
+	rep := &Report{
+		APL:              col.APL(),
+		PerApp:           map[int]float64{},
+		RegionalAPL:      col.Regional().Mean(),
+		GlobalAPL:        col.Global().Mean(),
+		Packets:          col.Packets(),
+		Throughput:       col.FlitThroughput(mesh.N()),
+		P95:              col.Total().Percentile(95),
+		P99:              col.Total().Percentile(99),
+		AvgHops:          col.Hops().Mean(),
+		LatencyHistogram: col.Total().Histogram(12),
+		Heatmap:          net.UtilizationHeatmap(end),
+	}
+	for _, app := range col.Apps() {
+		rep.PerApp[app] = col.App(app).Mean()
+	}
+	return rep, nil
+}

@@ -1,0 +1,262 @@
+package rair
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewDefaults(t *testing.T) {
+	sim, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.regions.Mesh().N() != 64 {
+		t.Fatal("default mesh must be 8x8")
+	}
+	if sim.scheme.Name != "RO_RR" {
+		t.Fatalf("default scheme %q", sim.scheme.Name)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []Config{
+		{MeshW: 1},
+		{Layout: "hexagon"},
+		{Scheme: "MAGIC"},
+		{Layout: LayoutCustom, Rects: []Rect{{0, 0, 9, 9}}},
+		{Layout: LayoutCustom, Rects: []Rect{{0, 0, 2, 2}, {1, 1, 3, 3}}},
+		{Depth: 5, EscapeVCs: 1, GlobalVCs: 9},
+	}
+	for i, c := range cases {
+		if _, err := New(c); err == nil {
+			t.Errorf("config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestCustomLayout(t *testing.T) {
+	sim, err := New(Config{Layout: LayoutCustom, Rects: []Rect{
+		{0, 0, 8, 4}, {0, 4, 8, 8},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.AddApp(AppSpec{App: 1, LoadFrac: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddAppValidation(t *testing.T) {
+	sim, _ := New(Config{Layout: LayoutHalves})
+	if err := sim.AddApp(AppSpec{App: 5, LoadFrac: 0.1}); err == nil {
+		t.Fatal("app without nodes accepted")
+	}
+	if err := sim.AddApp(AppSpec{App: 0}); err == nil {
+		t.Fatal("app without rate accepted")
+	}
+	if err := sim.AddApp(AppSpec{App: 0, LoadFrac: 0.1, PacketRate: 0.1}); err == nil {
+		t.Fatal("both rates accepted")
+	}
+	if err := sim.AddApp(AppSpec{App: 0, LoadFrac: 0.1, GlobalFrac: 0.8, MCFrac: 0.4}); err == nil {
+		t.Fatal("fractions above 1 accepted")
+	}
+}
+
+func TestRunRequiresTraffic(t *testing.T) {
+	sim, _ := New(Config{})
+	if _, err := sim.Run(QuickPhases()); err == nil {
+		t.Fatal("run without traffic accepted")
+	}
+	sim2, _ := New(Config{})
+	sim2.AddApp(AppSpec{App: 0, LoadFrac: 0.1})
+	if _, err := sim2.Run(Phases{Measure: 0}); err == nil {
+		t.Fatal("empty measurement window accepted")
+	}
+}
+
+func TestRunSyntheticEndToEnd(t *testing.T) {
+	sim, err := New(Config{Layout: LayoutHalves, Scheme: "RA_RAIR", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.AddApp(AppSpec{App: 0, LoadFrac: 0.1, GlobalFrac: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.AddApp(AppSpec{App: 1, LoadFrac: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Run(Phases{Warmup: 500, Measure: 3000, Drain: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Packets == 0 || rep.APL <= 0 {
+		t.Fatalf("empty report: %+v", rep)
+	}
+	if len(rep.PerApp) != 2 {
+		t.Fatalf("per-app entries %v", rep.PerApp)
+	}
+	if rep.GlobalAPL <= rep.RegionalAPL {
+		t.Fatalf("global APL %v should exceed regional %v", rep.GlobalAPL, rep.RegionalAPL)
+	}
+	if !strings.Contains(rep.String(), "APL") {
+		t.Fatal("report string empty")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	run := func() *Report {
+		sim, _ := New(Config{Layout: LayoutQuadrants, Scheme: "RA_RAIR", Seed: 9})
+		for a := 0; a < 4; a++ {
+			sim.AddApp(AppSpec{App: a, LoadFrac: 0.2, GlobalFrac: 0.2})
+		}
+		rep, err := sim.Run(Phases{Warmup: 500, Measure: 2000, Drain: 5000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.APL != b.APL || a.Packets != b.Packets {
+		t.Fatalf("runs differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunPARSECEndToEnd(t *testing.T) {
+	sim, err := New(Config{Layout: LayoutQuadrants, Scheme: "RA_RAIR", Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.AttachPARSEC(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.AddAdversary(0.2); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Run(Phases{Warmup: 1000, Measure: 3000, Drain: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Packets == 0 {
+		t.Fatal("no PARSEC packets measured")
+	}
+	// Adversary is excluded from stats: only apps 0..3 appear.
+	for app := range rep.PerApp {
+		if app < 0 || app > 3 {
+			t.Fatalf("unexpected app %d in report", app)
+		}
+	}
+}
+
+func TestMixingModesRejected(t *testing.T) {
+	sim, _ := New(Config{Layout: LayoutQuadrants})
+	sim.AddApp(AppSpec{App: 0, LoadFrac: 0.1})
+	if err := sim.AttachPARSEC(); err == nil {
+		t.Fatal("PARSEC after AddApp accepted")
+	}
+	sim2, _ := New(Config{Layout: LayoutQuadrants})
+	sim2.AttachPARSEC()
+	if err := sim2.AddApp(AppSpec{App: 0, LoadFrac: 0.1}); err == nil {
+		t.Fatal("AddApp after PARSEC accepted")
+	}
+	if err := sim2.AddAdversary(-1); err == nil {
+		t.Fatal("negative adversary rate accepted")
+	}
+}
+
+func TestSchemesListed(t *testing.T) {
+	for _, name := range Schemes() {
+		if _, err := New(Config{Scheme: name}); err != nil {
+			t.Errorf("listed scheme %q rejected: %v", name, err)
+		}
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	infos := Experiments()
+	if len(infos) < 10 {
+		t.Fatalf("only %d experiments registered", len(infos))
+	}
+	for _, e := range infos {
+		if e.Name == "" || e.Paper == "" {
+			t.Fatalf("incomplete experiment info %+v", e)
+		}
+	}
+	if _, err := Experiment("nope", true, 1); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestExperimentLBDR(t *testing.T) {
+	out, err := Experiment("lbdr", true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "0.14") {
+		t.Fatalf("LBDR output missing the 14%% result:\n%s", out)
+	}
+}
+
+func TestReportIncludesVisuals(t *testing.T) {
+	sim, _ := New(Config{Layout: LayoutHalves, Seed: 4})
+	sim.AddApp(AppSpec{App: 0, LoadFrac: 0.3})
+	sim.AddApp(AppSpec{App: 1, LoadFrac: 0.3})
+	rep, err := sim.Run(Phases{Warmup: 200, Measure: 2000, Drain: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.LatencyHistogram, "#") {
+		t.Fatalf("histogram:\n%s", rep.LatencyHistogram)
+	}
+	if !strings.Contains(rep.Heatmap, "utilization") {
+		t.Fatalf("heatmap:\n%s", rep.Heatmap)
+	}
+}
+
+func TestRoutingOptions(t *testing.T) {
+	for _, r := range []string{"adaptive", "xy", "westfirst", ""} {
+		sim, err := New(Config{Routing: r})
+		if err != nil {
+			t.Fatalf("routing %q rejected: %v", r, err)
+		}
+		sim.AddApp(AppSpec{App: 0, LoadFrac: 0.2})
+		if _, err := sim.Run(Phases{Warmup: 100, Measure: 500, Drain: 3000}); err != nil {
+			t.Fatalf("routing %q run: %v", r, err)
+		}
+	}
+	if _, err := New(Config{Routing: "warp"}); err == nil {
+		t.Fatal("unknown routing accepted")
+	}
+}
+
+func TestLBDRRestrictions(t *testing.T) {
+	sim, err := New(Config{Layout: LayoutQuadrants, Routing: "lbdr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.AddApp(AppSpec{App: 0, LoadFrac: 0.1, GlobalFrac: 0.1}); err == nil {
+		t.Fatal("LBDR accepted inter-region traffic")
+	}
+	if err := sim.AddApp(AppSpec{App: 0, LoadFrac: 0.1, MCFrac: 0.1}); err == nil {
+		t.Fatal("LBDR accepted MC traffic")
+	}
+	if err := sim.AttachPARSEC(); err == nil {
+		t.Fatal("LBDR accepted the memory system")
+	}
+	if err := sim.AddAdversary(0.1); err == nil {
+		t.Fatal("LBDR accepted an adversary")
+	}
+	if err := sim.AddApp(AppSpec{App: 0, LoadFrac: 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Run(Phases{Warmup: 100, Measure: 1000, Drain: 3000})
+	if err != nil || rep.Packets == 0 {
+		t.Fatalf("intra-region LBDR run failed: %v", err)
+	}
+	// Invalid mapping: halves layout leaves no MC in... halves contain
+	// corners, so build a custom MC-less region instead.
+	if _, err := New(Config{Routing: "lbdr", Layout: LayoutCustom, Rects: []Rect{
+		{0, 0, 2, 8}, {2, 0, 6, 8}, {6, 0, 8, 8},
+	}}); err == nil {
+		t.Fatal("LBDR accepted an MC-less region")
+	}
+}
