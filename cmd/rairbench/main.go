@@ -13,14 +13,60 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"rair"
+	"rair/internal/harness"
 )
+
+// benchResults is the machine-readable summary written by -json: simulator
+// speed (serial and sharded tick engine) plus the paper's headline APL
+// reductions and per-experiment wall time.
+type benchResults struct {
+	Date              string  `json:"date"`
+	Quick             bool    `json:"quick"`
+	Seed              uint64  `json:"seed"`
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+	CyclesPerS        float64 `json:"cycles_per_s_serial"`
+	CyclesPerSSharded float64 `json:"cycles_per_s_sharded"`
+	ShardWorkers      int     `json:"shard_workers"`
+	// HeadlineReduction is Figure 14's average APL reduction versus RO_RR
+	// per scheme (the paper's headline result).
+	HeadlineReduction map[string]float64 `json:"fig14_avg_apl_reduction_vs_RO_RR"`
+	Experiments       []experimentTiming `json:"experiments"`
+}
+
+type experimentTiming struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// throughput measures simulator speed in cycles/s on the standard probe (the
+// 64-node quadrant mesh under moderate uniform load with RA_RAIR, the same
+// scenario as BenchmarkSimulatorThroughput).
+func throughput(workers int) float64 {
+	sim, err := rair.New(rair.Config{Layout: rair.LayoutQuadrants, Scheme: "RA_RAIR", Seed: 1, Workers: workers})
+	if err != nil {
+		panic(err)
+	}
+	for a := 0; a < 4; a++ {
+		if err := sim.AddApp(rair.AppSpec{App: a, LoadFrac: 0.5, GlobalFrac: 0.2}); err != nil {
+			panic(err)
+		}
+	}
+	const cycles = 20000
+	start := time.Now()
+	if _, err := sim.Run(rair.Phases{Warmup: 0, Measure: cycles, Drain: 0}); err != nil {
+		panic(err)
+	}
+	return cycles / time.Since(start).Seconds()
+}
 
 func main() {
 	quick := flag.Bool("quick", false, "use reduced warmup/measurement windows")
@@ -28,6 +74,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	list := flag.Bool("list", false, "list experiments and exit")
 	csvDir := flag.String("csv", "", "also write each experiment's table as CSV into this directory")
+	jsonPath := flag.String("json", "", "write a machine-readable summary (cycles/s, headline reductions, timings) to this path, e.g. BENCH_results.json")
 	flag.Parse()
 
 	if *list {
@@ -43,6 +90,7 @@ func main() {
 		}
 	}
 
+	var timings []experimentTiming
 	run := func(n string) {
 		start := time.Now()
 		out, csv, err := rair.ExperimentCSV(n, *quick, *seed)
@@ -50,7 +98,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "rairbench:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("=== %s (%.1fs)\n%s\n", n, time.Since(start).Seconds(), out)
+		secs := time.Since(start).Seconds()
+		timings = append(timings, experimentTiming{Name: n, Seconds: secs})
+		fmt.Printf("=== %s (%.1fs)\n%s\n", n, secs, out)
 		if *csvDir != "" && csv != "" {
 			path := filepath.Join(*csvDir, n+".csv")
 			if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
@@ -62,9 +112,49 @@ func main() {
 
 	if *name != "" {
 		run(*name)
+	} else {
+		for _, e := range rair.Experiments() {
+			run(e.Name)
+		}
+	}
+	if *jsonPath == "" {
 		return
 	}
-	for _, e := range rair.Experiments() {
-		run(e.Name)
+
+	// Machine-readable summary: simulator speed (serial and sharded), the
+	// Figure 14 headline reductions, and the per-experiment wall times.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
 	}
+	res := benchResults{
+		Date:              time.Now().UTC().Format(time.RFC3339),
+		Quick:             *quick,
+		Seed:              *seed,
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		CyclesPerS:        throughput(0),
+		CyclesPerSSharded: throughput(workers),
+		ShardWorkers:      workers,
+		HeadlineReduction: map[string]float64{},
+		Experiments:       timings,
+	}
+	dur := harness.PaperDurations()
+	if *quick {
+		dur = harness.QuickDurations()
+	}
+	fig14 := harness.Fig14SixApp(dur, *seed)
+	for si := 1; si < len(fig14.Schemes); si++ {
+		res.HeadlineReduction[fig14.Schemes[si]] = fig14.AvgReduction(si)
+	}
+	buf, err := json.MarshalIndent(&res, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rairbench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "rairbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%.0f cycles/s serial, %.0f sharded x%d)\n",
+		*jsonPath, res.CyclesPerS, res.CyclesPerSSharded, res.ShardWorkers)
 }

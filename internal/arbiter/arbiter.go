@@ -85,6 +85,14 @@ func (a *Prioritized) Grant(req []bool, prio []int) int {
 	return best
 }
 
+// GrantSingle commits a grant when the caller already knows idx is the only
+// requestor: the outcome and the round-robin pointer update are exactly
+// those of Grant with a one-hot request vector, without scanning it.
+func (a *Prioritized) GrantSingle(idx int) int {
+	a.ptr = (idx + 1) % a.n
+	return idx
+}
+
 // Matrix implements a matrix arbiter: a triangular matrix of "i beats j"
 // bits updated so the winner becomes lowest priority against everyone.
 // It provides strong fairness (least recently served wins) and is used in

@@ -43,6 +43,9 @@ type RunConfig struct {
 	Scheme  Scheme
 	Dur     Durations
 	Seed    uint64
+	// Workers selects the network's tick-engine shard count (<= 1 serial).
+	// Results are identical either way; see network.Params.Workers.
+	Workers int
 }
 
 // Run executes one simulation point and returns its statistics collector.
@@ -56,7 +59,9 @@ func Run(rc RunConfig) *stats.Collector {
 		Sel:     rc.Scheme.Sel(rc.Regions, rc.Router),
 		Policy:  rc.Scheme.Policy,
 		OnEject: col.OnEject,
+		Workers: rc.Workers,
 	})
+	defer net.Close()
 	gen := traffic.NewGenerator(rc.Apps, rc.Seed, func(node int, p *msg.Packet, now int64) {
 		net.NI(node).Inject(p, now)
 	})
@@ -72,19 +77,34 @@ func Run(rc RunConfig) *stats.Collector {
 	return col
 }
 
-// RunParallel executes every configuration concurrently (bounded by CPU
-// count) and returns collectors in input order. Each simulation is fully
-// independent and internally single-threaded, so results are identical to a
-// serial run.
+// RunParallel executes every configuration concurrently and returns
+// collectors in input order. Each simulation is fully deterministic in
+// isolation, so results are identical to a serial run.
+//
+// The concurrency budget is GOMAXPROCS goroutines total: a run configured
+// with tick-engine shards (Workers > 1) occupies that many slots, so runs
+// with intra-simulation parallelism don't multiply into CPU oversubscription.
+// The semaphore is acquired before the goroutine spawns, bounding live
+// goroutines (not merely running ones) for arbitrarily long rcs slices.
 func RunParallel(rcs []RunConfig) []*stats.Collector {
 	out := make([]*stats.Collector, len(rcs))
-	sem := make(chan struct{}, runtime.NumCPU())
+	maxW := 1
+	for _, rc := range rcs {
+		if rc.Workers > maxW {
+			maxW = rc.Workers
+		}
+	}
+	slots := runtime.GOMAXPROCS(0) / maxW
+	if slots < 1 {
+		slots = 1
+	}
+	sem := make(chan struct{}, slots)
 	var wg sync.WaitGroup
 	for i := range rcs {
+		sem <- struct{}{}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
 			out[i] = Run(rcs[i])
 		}(i)

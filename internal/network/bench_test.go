@@ -40,16 +40,56 @@ func BenchmarkNetworkTick(b *testing.B) {
 }
 
 func inject(n *Network, regions *region.Map, rng *sim.RNG, id *uint64, c int64) {
-	for node := 0; node < 64; node++ {
+	nodes := n.Mesh().N()
+	for node := 0; node < nodes; node++ {
 		if !rng.Bool(0.05) {
 			continue
 		}
-		dst := rng.Intn(64)
+		dst := rng.Intn(nodes)
 		if dst == node {
 			continue
 		}
 		*id++
 		n.NI(node).Inject(&msg.Packet{ID: *id, App: regions.AppAt(node),
 			Src: node, Dst: dst, Size: 1 + 4*rng.Intn(2), Class: msg.ClassRequest}, c)
+	}
+}
+
+// BenchmarkTickEngine compares the serial tick path against the sharded
+// engine at several worker counts on a 16x16 mesh (large enough that a shard
+// amortizes its barrier cost). On a single-core host the sharded variants
+// only measure coordination overhead; on multi-core they show the scaling.
+func BenchmarkTickEngine(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 0}, {"workers=1", 1}, {"workers=2", 2}, {"workers=4", 4}, {"workers=8", 8},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			regions := region.Quadrants(topology.NewMesh(16, 16))
+			n := New(Params{
+				Router:  router.DefaultConfig(1),
+				Regions: regions,
+				Alg:     routing.MinimalAdaptive{Mesh: regions.Mesh()},
+				Sel:     routing.LocalSelector{},
+				Policy:  core.NewFactory(core.Config{}),
+				Workers: tc.workers,
+			})
+			defer n.Close()
+			rng := sim.NewRNG(1)
+			var id uint64
+			var c int64
+			for ; c < 500; c++ {
+				inject(n, regions, rng, &id, c)
+				n.Tick(c)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inject(n, regions, rng, &id, c)
+				n.Tick(c)
+				c++
+			}
+		})
 	}
 }

@@ -1,0 +1,240 @@
+// The sharded parallel tick engine. The mesh is partitioned into contiguous
+// node-range shards; each shard beyond the first gets a persistent worker
+// goroutine, and every cycle advances in barrier-separated phases that mirror
+// the register-latched two-phase semantics the serial network always had:
+//
+//	phase 1 (links):   shard-local link shift and flit/credit delivery
+//	phase 2 (compute): router and NI pipelines tick
+//	phase 3 (cong):    DBAR congestion fill, then a separate swap phase
+//
+// Sharding is bit-exact because all cross-component communication flows
+// through latched links, and each delay line is touched by exactly one shard
+// per phase: a link's flit wire belongs to the shard of its receiver (which
+// shifts and delivers it in phase 1 and is the only pusher of its credit wire
+// in phase 2), and its credit wire belongs to the shard of its sender
+// (symmetrically). The congestion fill reads neighbor state that phase 2 no
+// longer mutates and writes only shard-own next-tables; the swap is again
+// shard-own. Within a phase, shards share no mutable state.
+package network
+
+import (
+	"sync"
+
+	"rair/internal/msg"
+	"rair/internal/router"
+	"rair/internal/topology"
+)
+
+type enginePhase uint8
+
+const (
+	phaseLinks enginePhase = iota
+	phaseCompute
+	phaseCongFill
+	phaseCongSwap
+)
+
+// The typed bindings replace the seed's closure dispatch: one small struct
+// per (link wire, receiver) pair, devirtualized into four flat slices per
+// shard so phase 1 is a tight loop of direct struct calls.
+type routerFlitBinding struct {
+	link *router.Link
+	r    *router.Router
+	dir  topology.Dir // input port at r
+}
+
+type niFlitBinding struct {
+	link *router.Link
+	ni   *router.NI
+}
+
+type routerCreditBinding struct {
+	link *router.Link
+	r    *router.Router
+	dir  topology.Dir // output port at r
+}
+
+type niCreditBinding struct {
+	link *router.Link
+	ni   *router.NI
+}
+
+// ejection buffers one delivered packet so OnEject callbacks run on the
+// coordinating goroutine in deterministic node order, never concurrently.
+type ejection struct {
+	pkt *msg.Packet
+	now int64
+}
+
+// shard owns a contiguous node range: its routers and NIs, plus every link
+// wire whose receiver lives in the range.
+type shard struct {
+	routers []*router.Router
+	nis     []*router.NI
+
+	rFlit []routerFlitBinding
+	nFlit []niFlitBinding
+	rCred []routerCreditBinding
+	nCred []niCreditBinding
+
+	// active is rebuilt every compute phase: the routers that actually
+	// ticked. Drain detection is O(len(active)) instead of O(mesh).
+	active []*router.Router
+
+	// ejections buffers OnEject calls made during phase 1 (only allocated
+	// when the network has an OnEject observer).
+	ejections []ejection
+}
+
+// engine drives the shards. It deliberately holds no reference back to the
+// Network so that worker goroutines (which capture the engine) never keep an
+// abandoned Network alive; the Network's finalizer can then stop them.
+type engine struct {
+	mesh    *topology.Mesh
+	routers []*router.Router
+	shards  []*shard
+	now     int64
+
+	// cmd[i] feeds shard i+1's worker; shard 0 runs on the coordinator.
+	cmd  []chan enginePhase
+	done chan struct{}
+	stop sync.Once
+}
+
+// newEngine partitions nodes into max(1, workers) contiguous shards (capped
+// at the node count) and starts one persistent worker per shard beyond the
+// first.
+func newEngine(mesh *topology.Mesh, routers []*router.Router, nis []*router.NI, workers int) *engine {
+	n := mesh.N()
+	s := workers
+	if s < 1 {
+		s = 1
+	}
+	if s > n {
+		s = n
+	}
+	e := &engine{mesh: mesh, routers: routers, shards: make([]*shard, s)}
+	for i := range e.shards {
+		lo, hi := i*n/s, (i+1)*n/s
+		e.shards[i] = &shard{routers: routers[lo:hi], nis: nis[lo:hi]}
+	}
+	if s > 1 {
+		e.cmd = make([]chan enginePhase, s-1)
+		e.done = make(chan struct{}, s-1)
+		for i := range e.cmd {
+			e.cmd[i] = make(chan enginePhase)
+			go e.worker(e.cmd[i], e.shards[i+1])
+		}
+	}
+	return e
+}
+
+// shardOf returns the shard owning node id (the inverse of the partition in
+// newEngine).
+func (e *engine) shardOf(id int) *shard {
+	s, n := len(e.shards), e.mesh.N()
+	i := id * s / n
+	// Integer partition boundaries don't invert exactly; walk the (at most
+	// one-off) error out.
+	for i > 0 && id < i*n/s {
+		i--
+	}
+	for i < s-1 && id >= (i+1)*n/s {
+		i++
+	}
+	return e.shards[i]
+}
+
+func (e *engine) worker(cmd chan enginePhase, sh *shard) {
+	for ph := range cmd {
+		e.exec(sh, ph)
+		e.done <- struct{}{}
+	}
+}
+
+// run executes one phase across all shards and waits for the barrier. The
+// coordinator handles shard 0 itself while the workers run theirs.
+func (e *engine) run(ph enginePhase) {
+	for _, c := range e.cmd {
+		c <- ph
+	}
+	e.exec(e.shards[0], ph)
+	for range e.cmd {
+		<-e.done
+	}
+}
+
+// close stops the worker goroutines. Idempotent; the Network calls it from
+// Close and from its finalizer.
+func (e *engine) close() {
+	e.stop.Do(func() {
+		for _, c := range e.cmd {
+			close(c)
+		}
+	})
+}
+
+func (e *engine) exec(sh *shard, ph enginePhase) {
+	switch ph {
+	case phaseLinks:
+		now := e.now
+		for _, b := range sh.rFlit {
+			if f, ok := b.link.ShiftFlits(); ok {
+				b.r.DeliverFlit(b.dir, f)
+			}
+		}
+		for _, b := range sh.nFlit {
+			if f, ok := b.link.ShiftFlits(); ok {
+				b.ni.DeliverFlit(f, now)
+			}
+		}
+		for _, b := range sh.rCred {
+			if vc, ok := b.link.ShiftCredits(); ok {
+				b.r.DeliverCredit(b.dir, vc)
+			}
+		}
+		for _, b := range sh.nCred {
+			if vc, ok := b.link.ShiftCredits(); ok {
+				b.ni.DeliverCredit(vc)
+			}
+		}
+	case phaseCompute:
+		now := e.now
+		sh.active = sh.active[:0]
+		for _, r := range sh.routers {
+			if r.Active() {
+				r.Tick(now)
+				sh.active = append(sh.active, r)
+			}
+		}
+		for _, ni := range sh.nis {
+			if ni.Active() {
+				ni.Tick(now)
+			}
+		}
+	case phaseCongFill:
+		// Every router relays, active or not: congestion values travel one
+		// hop per cycle through quiet routers too.
+		for _, r := range sh.routers {
+			id := r.Node()
+			for d := topology.North; d < topology.NumDirs; d++ {
+				next := r.CongNextRow(d)
+				nb := e.mesh.Neighbor(id, d)
+				if nb == -1 {
+					for k := range next {
+						next[k] = 0
+					}
+					continue
+				}
+				nr := e.routers[nb]
+				next[0] = nr.InPortOccupancy(d)
+				prev := nr.CongRow(d)
+				copy(next[1:], prev[:len(next)-1])
+			}
+		}
+	case phaseCongSwap:
+		for _, r := range sh.routers {
+			r.SwapCong()
+		}
+	}
+}

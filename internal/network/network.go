@@ -3,14 +3,22 @@
 // communication goes through links that are shifted once per cycle before
 // any component ticks, so results are independent of iteration order.
 //
+// Cycles are advanced by a sharded tick engine (see engine.go): the serial
+// configuration runs all phases inline on one shard, while Params.Workers
+// splits the mesh across persistent worker goroutines with barrier-separated
+// phases, producing bit-identical results.
+//
 // The network also runs the systolic congestion propagation DBAR relies on:
 // each cycle a router learns its neighbor's occupancy (one cycle old) and
 // the neighbor's view of the routers beyond it (one more cycle old per
-// hop).
+// hop). Propagation only runs when the configured selection function
+// actually consumes the signal (routing.CongestionConsumer), so schemes on
+// local selection don't pay for it.
 package network
 
 import (
 	"fmt"
+	"runtime"
 
 	"rair/internal/msg"
 	"rair/internal/policy"
@@ -18,6 +26,19 @@ import (
 	"rair/internal/router"
 	"rair/internal/routing"
 	"rair/internal/topology"
+)
+
+// CongestionMode gates the per-cycle DBAR congestion propagation.
+type CongestionMode int
+
+const (
+	// CongestionAuto enables propagation iff the selector consumes it
+	// (routing.ConsumesCongestion).
+	CongestionAuto CongestionMode = iota
+	// CongestionOn forces propagation every cycle.
+	CongestionOn
+	// CongestionOff disables propagation; PathOccupancy reads zeros.
+	CongestionOff
 )
 
 // Params configures a network build.
@@ -32,24 +53,29 @@ type Params struct {
 	Sel routing.Selector
 	// Policy builds the per-router interference-reduction policy.
 	Policy policy.Factory
-	// OnEject, if non-nil, observes every delivered packet.
+	// OnEject, if non-nil, observes every delivered packet. Callbacks run
+	// on the goroutine calling Tick, in ascending node order within a
+	// cycle, regardless of Workers.
 	OnEject func(*msg.Packet, int64)
-}
-
-type flitBinding struct {
-	link          *router.Link
-	deliverFlit   func(f msg.Flit, now int64)
-	deliverCredit func(vc int)
+	// Workers is the number of tick-engine shards. Values <= 1 run
+	// serially on the calling goroutine; higher values partition the mesh
+	// across Workers-1 persistent worker goroutines plus the caller. Call
+	// Close when done with a parallel network (a finalizer backstops it).
+	Workers int
+	// Congestion gates DBAR propagation (default CongestionAuto).
+	Congestion CongestionMode
 }
 
 // Network is a fully wired mesh NoC.
 type Network struct {
-	params   Params
-	mesh     *topology.Mesh
-	routers  []*router.Router
-	nis      []*router.NI
-	bindings []flitBinding
-	now      int64
+	params  Params
+	mesh    *topology.Mesh
+	routers []*router.Router
+	nis     []*router.NI
+	links   []*router.Link // every link, for conservation accounting
+	eng     *engine
+	cong    bool
+	now     int64
 }
 
 // New builds and wires the network.
@@ -67,10 +93,21 @@ func New(p Params) *Network {
 		routers: make([]*router.Router, mesh.N()),
 		nis:     make([]*router.NI, mesh.N()),
 	}
+	switch p.Congestion {
+	case CongestionAuto:
+		n.cong = routing.ConsumesCongestion(p.Sel)
+	case CongestionOn:
+		n.cong = true
+	case CongestionOff:
+		n.cong = false
+	default:
+		panic(fmt.Sprintf("network: unknown congestion mode %d", p.Congestion))
+	}
 	for id := 0; id < mesh.N(); id++ {
 		app := p.Regions.AppAt(id)
 		n.routers[id] = router.New(p.Router, id, app, mesh, p.Regions, p.Alg, p.Sel, p.Policy(id, app))
 	}
+	n.eng = newEngine(mesh, n.routers, n.nis, p.Workers)
 	// Inter-router links (one per direction per adjacent pair).
 	for id := 0; id < mesh.N(); id++ {
 		for _, d := range []topology.Dir{topology.East, topology.South} {
@@ -78,48 +115,70 @@ func New(p Params) *Network {
 			if nb == -1 {
 				continue
 			}
-			n.wire(n.routers[id], d, n.routers[nb])
-			n.wire(n.routers[nb], d.Opposite(), n.routers[id])
+			n.wire(id, d, nb)
+			n.wire(nb, d.Opposite(), id)
 		}
 	}
-	// NI links.
+	// NI links. Built in ascending node order so per-cycle ejection
+	// callbacks replay in node order.
 	for id := 0; id < mesh.N(); id++ {
 		r := n.routers[id]
 		inj := router.NewLink(p.Router.LinkLatency)
 		ej := router.NewLink(p.Router.LinkLatency)
-		ni := router.NewNI(p.Router, id, p.Regions, inj, ej, p.OnEject)
+		n.links = append(n.links, inj, ej)
+		var onEject func(*msg.Packet, int64)
+		if p.OnEject != nil {
+			sh := n.eng.shardOf(id)
+			onEject = func(pkt *msg.Packet, now int64) {
+				sh.ejections = append(sh.ejections, ejection{pkt, now})
+			}
+		}
+		ni := router.NewNI(p.Router, id, p.Regions, inj, ej, onEject)
 		n.nis[id] = ni
 		r.ConnectIn(topology.Local, inj)
 		r.ConnectOut(topology.Local, ej)
-		rr := r
-		n.bindings = append(n.bindings,
-			flitBinding{
-				link:          inj,
-				deliverFlit:   func(f msg.Flit, _ int64) { rr.DeliverFlit(topology.Local, f) },
-				deliverCredit: ni.DeliverCredit,
-			},
-			flitBinding{
-				link:          ej,
-				deliverFlit:   ni.DeliverFlit,
-				deliverCredit: func(vc int) { rr.DeliverCredit(topology.Local, vc) },
-			},
-		)
+		sh := n.eng.shardOf(id)
+		// Injection link: flits flow NI -> router, credits router -> NI.
+		sh.rFlit = append(sh.rFlit, routerFlitBinding{link: inj, r: r, dir: topology.Local})
+		sh.nCred = append(sh.nCred, niCreditBinding{link: inj, ni: ni})
+		// Ejection link: flits flow router -> NI; the ejection port never
+		// returns credits, but the wire is kept for symmetry.
+		sh.nFlit = append(sh.nFlit, niFlitBinding{link: ej, ni: ni})
+		sh.rCred = append(sh.rCred, routerCreditBinding{link: ej, r: r, dir: topology.Local})
+	}
+	if p.Workers > 1 {
+		runtime.SetFinalizer(n, (*Network).Close)
 	}
 	return n
 }
 
-// wire connects src's output port at dir to dst's opposite input port.
-func (n *Network) wire(src *router.Router, dir topology.Dir, dst *router.Router) {
+// wire connects src's output port at dir to dst's opposite input port. The
+// flit wire is owned (shifted and delivered) by dst's shard, the credit wire
+// by src's shard.
+func (n *Network) wire(src int, dir topology.Dir, dst int) {
 	l := router.NewLink(n.params.Router.LinkLatency)
-	src.ConnectOut(dir, l)
-	dst.ConnectIn(dir.Opposite(), l)
-	in := dir.Opposite()
-	n.bindings = append(n.bindings, flitBinding{
-		link:          l,
-		deliverFlit:   func(f msg.Flit, _ int64) { dst.DeliverFlit(in, f) },
-		deliverCredit: func(vc int) { src.DeliverCredit(dir, vc) },
-	})
+	n.links = append(n.links, l)
+	sr, dr := n.routers[src], n.routers[dst]
+	sr.ConnectOut(dir, l)
+	dr.ConnectIn(dir.Opposite(), l)
+	dsh := n.eng.shardOf(dst)
+	dsh.rFlit = append(dsh.rFlit, routerFlitBinding{link: l, r: dr, dir: dir.Opposite()})
+	ssh := n.eng.shardOf(src)
+	ssh.rCred = append(ssh.rCred, routerCreditBinding{link: l, r: sr, dir: dir})
 }
+
+// Close stops the tick engine's worker goroutines. Safe to call multiple
+// times; a no-op for serial networks.
+func (n *Network) Close() {
+	runtime.SetFinalizer(n, nil)
+	n.eng.close()
+}
+
+// Workers reports the number of tick-engine shards actually in use.
+func (n *Network) Workers() int { return len(n.eng.shards) }
+
+// CongestionEnabled reports whether DBAR congestion propagation runs.
+func (n *Network) CongestionEnabled() bool { return n.cong }
 
 // Mesh returns the topology.
 func (n *Network) Mesh() *topology.Mesh { return n.mesh }
@@ -136,49 +195,28 @@ func (n *Network) Router(node int) *router.Router { return n.routers[node] }
 // Now reports the cycle of the last Tick.
 func (n *Network) Now() int64 { return n.now }
 
-// Tick advances the whole network one cycle.
+// Tick advances the whole network one cycle through the engine's
+// barrier-separated phases.
 func (n *Network) Tick(now int64) {
 	n.now = now
+	n.eng.now = now
 	// Phase 1: links deliver.
-	for _, b := range n.bindings {
-		f, fOK, credit, cOK := b.link.Shift()
-		if fOK {
-			b.deliverFlit(f, now)
-		}
-		if cOK {
-			b.deliverCredit(credit)
-		}
-	}
+	n.eng.run(phaseLinks)
 	// Phase 2: routers and NIs compute.
-	for _, r := range n.routers {
-		r.Tick(now)
+	n.eng.run(phaseCompute)
+	// Phase 3: propagate congestion one hop (only if anything reads it).
+	if n.cong {
+		n.eng.run(phaseCongFill)
+		n.eng.run(phaseCongSwap)
 	}
-	for _, ni := range n.nis {
-		ni.Tick(now)
-	}
-	// Phase 3: propagate congestion one hop.
-	n.propagateCongestion()
-}
-
-func (n *Network) propagateCongestion() {
-	for id, r := range n.routers {
-		for d := topology.North; d < topology.NumDirs; d++ {
-			next := r.CongNextRow(d)
-			nb := n.mesh.Neighbor(id, d)
-			if nb == -1 {
-				for k := range next {
-					next[k] = 0
-				}
-				continue
+	// Replay buffered ejections in node order on this goroutine.
+	if n.params.OnEject != nil {
+		for _, sh := range n.eng.shards {
+			for _, e := range sh.ejections {
+				n.params.OnEject(e.pkt, e.now)
 			}
-			nr := n.routers[nb]
-			next[0] = nr.InPortOccupancy(d)
-			prev := nr.CongRow(d)
-			copy(next[1:], prev[:len(next)-1])
+			sh.ejections = sh.ejections[:0]
 		}
-	}
-	for _, r := range n.routers {
-		r.SwapCong()
 	}
 }
 
@@ -201,17 +239,23 @@ func (n *Network) BufferedFlits() int {
 	return total
 }
 
-// Drained reports whether nothing is queued, buffered or in flight.
+// Drained reports whether nothing is queued, buffered or in flight. It runs
+// in O(active): once no packets are in flight, flits cannot exist anywhere
+// (a flit belongs to an unejected packet), so the only possible residue is
+// buffered state or returning credits at routers that ticked last cycle —
+// exactly the engine's active sets.
 func (n *Network) Drained() bool {
 	if n.InFlight() != 0 {
 		return false
 	}
-	for _, b := range n.bindings {
-		if b.link.Busy() {
-			return false
+	for _, sh := range n.eng.shards {
+		for _, r := range sh.active {
+			if r.BufferedFlits() > 0 || r.BusyCreditWires() {
+				return false
+			}
 		}
 	}
-	return n.BufferedFlits() == 0
+	return true
 }
 
 // StuckPacket returns a packet that has been inside the network for more
@@ -233,8 +277,8 @@ func (n *Network) StuckPacket(now, limit int64) *msg.Packet {
 // anything else means flits were lost, duplicated, or stranded.
 func (n *Network) FlitConservation() (inside, inflightPackets int64) {
 	inside = int64(n.BufferedFlits())
-	for _, b := range n.bindings {
-		if b.link.Busy() {
+	for _, l := range n.links {
+		if l.Busy() {
 			inside++
 		}
 	}

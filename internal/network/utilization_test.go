@@ -142,7 +142,17 @@ func TestLBDRIntraRegionNetwork(t *testing.T) {
 // the top row must become visible in upstream routers' path-occupancy view
 // of the East direction, while quiet directions read zero.
 func TestCongestionPropagation(t *testing.T) {
-	n, _ := build(t, mesh4(), policy.NewRoundRobin, nil)
+	// Local selection doesn't consume the signal, so force propagation on to
+	// exercise the systolic machinery itself.
+	regions := mesh4()
+	n := New(Params{
+		Router:     routerCfg(),
+		Regions:    regions,
+		Alg:        routing.MinimalAdaptive{Mesh: regions.Mesh()},
+		Sel:        routing.LocalSelector{},
+		Policy:     policy.NewRoundRobin,
+		Congestion: CongestionOn,
+	})
 	// Saturate the 0->3 row.
 	id := uint64(0)
 	for c := int64(0); c < 300; c++ {

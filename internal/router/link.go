@@ -33,6 +33,33 @@ func (l *Link) Shift() (f msg.Flit, fOK bool, credit int, cOK bool) {
 	return
 }
 
+// ShiftFlits advances only the downstream flit wire. The tick engine shifts
+// the two directions of a link from different shards (the flit wire belongs
+// to the receiver's shard, the credit wire to the sender's), so each wire
+// must advance independently. An idle wire is skipped entirely: a DelayLine
+// with nothing in flight cannot have a pending push either, so not shifting
+// it is exactly equivalent to shifting it.
+func (l *Link) ShiftFlits() (f msg.Flit, ok bool) {
+	if !l.flits.Busy() {
+		return f, false
+	}
+	return l.flits.Shift()
+}
+
+// ShiftCredits advances only the upstream credit wire (see ShiftFlits).
+func (l *Link) ShiftCredits() (vc int, ok bool) {
+	if !l.credits.Busy() {
+		return 0, false
+	}
+	return l.credits.Shift()
+}
+
+// FlitsBusy reports whether any flit is in flight downstream.
+func (l *Link) FlitsBusy() bool { return l.flits.Busy() }
+
+// CreditsBusy reports whether any credit is in flight upstream.
+func (l *Link) CreditsBusy() bool { return l.credits.Busy() }
+
 // SendFlit pushes a flit downstream. At most one flit per cycle may enter
 // (the link is one flit wide); the router's ST stage guarantees this.
 func (l *Link) SendFlit(f msg.Flit) { l.flits.Push(f) }

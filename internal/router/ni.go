@@ -34,6 +34,15 @@ type NI struct {
 	rrVC     int
 	rrClass  int
 
+	// Activity counters: queued packets, live streams and draining VCs.
+	// When all three are zero the NI's Tick is a no-op and the tick engine
+	// skips it.
+	queued    int
+	streaming int
+	drainingN int
+
+	kinds []policy.VCClass // cached cfg.KindOf per VC index
+
 	onEject func(*msg.Packet, int64)
 
 	created, injected, ejected int64
@@ -62,7 +71,18 @@ func NewNI(cfg Config, node int, regions *region.Map, inj, ej *Link, onEject fun
 	for i := range ni.credits {
 		ni.credits[i] = cfg.Depth
 	}
+	ni.kinds = make([]policy.VCClass, v)
+	for i := range ni.kinds {
+		ni.kinds[i] = cfg.KindOf(i)
+	}
 	return ni
+}
+
+// Active reports whether ticking the NI this cycle can have any effect:
+// packets queued for injection, flits still streaming, or claimed VCs
+// waiting for their credits to drain back.
+func (ni *NI) Active() bool {
+	return ni.queued+ni.streaming+ni.drainingN > 0
 }
 
 // Node returns the NI's node id.
@@ -83,6 +103,7 @@ func (ni *NI) Inject(p *msg.Packet, now int64) {
 	p.EjectedAt = -1
 	p.InjectedAt = -1
 	ni.queues[p.Class].Push(p)
+	ni.queued++
 	ni.created++
 }
 
@@ -140,12 +161,19 @@ func (ni *NI) DeliverCredit(vc int) {
 
 // Tick claims VCs for queued packets and streams one flit.
 func (ni *NI) Tick(now int64) {
-	ni.claim()
-	ni.sendOne(now)
-	// Free drained VCs whose credits have all returned.
-	for vc := range ni.draining {
-		if ni.draining[vc] && ni.credits[vc] == ni.cfg.Depth {
-			ni.draining[vc] = false
+	if ni.queued > 0 {
+		ni.claim()
+	}
+	if ni.streaming > 0 {
+		ni.sendOne(now)
+	}
+	if ni.drainingN > 0 {
+		// Free drained VCs whose credits have all returned.
+		for vc := range ni.draining {
+			if ni.draining[vc] && ni.credits[vc] == ni.cfg.Depth {
+				ni.draining[vc] = false
+				ni.drainingN--
+			}
 		}
 	}
 }
@@ -165,6 +193,8 @@ func (ni *NI) claim() {
 		}
 		p, _ := q.Pop()
 		ni.streams[vc] = &stream{flits: msg.Flits(p)}
+		ni.queued--
+		ni.streaming++
 		ni.rrClass = (cls + 1) % ni.cfg.Classes
 		return
 	}
@@ -180,7 +210,7 @@ func (ni *NI) freeVC(cls msg.Class) int {
 		if ni.streams[i] != nil || ni.draining[i] || ni.credits[i] != ni.cfg.Depth {
 			continue
 		}
-		if ni.cfg.KindOf(i) != policy.VCEscape {
+		if ni.kinds[i] != policy.VCEscape {
 			return i
 		}
 		if found < 0 {
@@ -215,6 +245,8 @@ func (ni *NI) sendOne(now int64) {
 		if s.next == len(s.flits) {
 			ni.streams[vc] = nil
 			ni.draining[vc] = true
+			ni.streaming--
+			ni.drainingN++
 		}
 		ni.rrVC = (vc + 1) % v
 		return

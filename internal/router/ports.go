@@ -38,16 +38,26 @@ type inputVC struct {
 }
 
 // InputPort is one input of the router: a set of VC buffers plus the
-// upstream link credits are returned on.
+// upstream link credits are returned on. The per-stage index lists let the
+// pipeline visit only the VCs actually in each stage instead of scanning
+// every VC every cycle.
 type InputPort struct {
 	dir      topology.Dir
 	vcs      []*inputVC
 	link     *Link // upstream link; nil on unconnected mesh-edge ports
 	bufFlits int   // buffered flits across the port's VCs (congestion metric)
+
+	rcPend []int // VC indices whose head arrived (stageRC)
+	vaPend []int // VC indices waiting for a VC allocation (stageVA)
+	active []int // VC indices streaming flits (stageActive)
 }
 
 func newInputPort(cfg Config, dir topology.Dir, link *Link) *InputPort {
-	p := &InputPort{dir: dir, link: link, vcs: make([]*inputVC, cfg.VCsPerPort())}
+	v := cfg.VCsPerPort()
+	p := &InputPort{
+		dir: dir, link: link, vcs: make([]*inputVC, v),
+		rcPend: make([]int, 0, v), vaPend: make([]int, 0, v), active: make([]int, 0, v),
+	}
 	for i := range p.vcs {
 		p.vcs[i] = &inputVC{idx: i, buf: sim.NewBounded[msg.Flit](cfg.Depth)}
 	}
@@ -65,6 +75,7 @@ func (p *InputPort) deliver(f msg.Flit) {
 		vc.owner = f.Pkt
 		vc.stage = stageRC
 		vc.vaAttempts = 0
+		p.rcPend = append(p.rcPend, f.VC)
 	} else if vc.owner != f.Pkt {
 		panic(fmt.Sprintf("router: body flit of %v on VC %d owned by %v", f.Pkt, f.VC, vc.owner))
 	}
@@ -93,7 +104,9 @@ type OutputPort struct {
 	st      msg.Flit
 	stValid bool
 
-	allocated int // owned VCs; lets idle ports skip the free() scan
+	allocated int   // owned VCs (bookkeeping invariant)
+	draining  []int // VC indices with tail sent, awaiting credit return
+	freeable  bool  // a credit arrived or a tail was sent since the last free() scan
 }
 
 func newOutputPort(cfg Config, dir topology.Dir, link *Link, ejection bool) *OutputPort {
@@ -111,22 +124,33 @@ func (p *OutputPort) deliverCredit(vc int, depth int) {
 	if v.credits > depth {
 		panic(fmt.Sprintf("router: credit overflow on %s VC %d", p.dir, vc))
 	}
+	p.freeable = true
 }
 
 // free releases output VCs whose packets have fully drained downstream:
 // tail sent and every credit returned (atomic VC reuse condition). Ejection
 // VCs never consume credits, so they free as soon as the tail is sent.
+// Only the draining list (VCs whose tail has been sent) is visited, and only
+// when something happened that could newly satisfy the release condition (a
+// returned credit or a sent tail), so busy ports don't rescan every VC every
+// cycle.
 func (p *OutputPort) free(depth int) {
-	if p.allocated == 0 {
+	if len(p.draining) == 0 || !p.freeable {
 		return
 	}
-	for _, v := range p.vcs {
-		if v.owner != nil && v.tailSent && v.credits == depth {
+	p.freeable = false
+	kept := p.draining[:0]
+	for _, i := range p.draining {
+		v := p.vcs[i]
+		if v.credits == depth {
 			v.owner = nil
 			v.tailSent = false
 			p.allocated--
+		} else {
+			kept = append(kept, i)
 		}
 	}
+	p.draining = kept
 }
 
 // freeCredits reports the total credits available across the port (the

@@ -41,9 +41,20 @@ type Router struct {
 	// SA scratch state.
 	saReq    []bool
 	saPrio   []int
+	saCand   []int                      // SA_in candidate indices this port
 	saOutVC  [topology.NumDirs]*inputVC // SA_in winner per input port
 	saOutReq [topology.NumDirs][topology.NumDirs]bool
 	saOutPri [topology.NumDirs][topology.NumDirs]int
+
+	// Per-output-VC request count and (when single) the lone requestor,
+	// letting VA_out bypass the wide arbiter scan in the common
+	// uncontended case.
+	vaReqN   []int
+	vaSingle []int
+
+	// stList holds the output ports with an occupied ST register, so ST
+	// only visits ports with a flit to send.
+	stList []topology.Dir
 
 	// DBAR congestion tables: cong[d][k] is the (k+1)-cycle-old occupancy
 	// of the router k+1 hops away in direction d. The network fills
@@ -54,11 +65,17 @@ type Router struct {
 
 	// Stage population counters let idle routers skip whole pipeline
 	// stages; occupancy counters make the per-cycle DPA update O(1).
+	// stPending counts occupied ST registers; together with the stage
+	// counters it decides whether the router needs to tick at all.
 	rcCount     int
 	vaCount     int
 	activeCount int
+	stPending   int
 	nativeOcc   int
 	foreignOcc  int
+
+	// vcKind caches cfg.KindOf for every VC index (hot in VA_in).
+	vcKind []policy.VCClass
 
 	// flitsSent counts flits pushed onto each output link (utilization
 	// instrumentation).
@@ -91,6 +108,14 @@ func New(cfg Config, node, app int, mesh *topology.Mesh, regions *region.Map,
 	}
 	r.saReq = make([]bool, v)
 	r.saPrio = make([]int, v)
+	r.saCand = make([]int, 0, v)
+	r.vaReqN = make([]int, nOut)
+	r.vaSingle = make([]int, nOut)
+	r.stList = make([]topology.Dir, 0, topology.NumDirs)
+	r.vcKind = make([]policy.VCClass, v)
+	for i := range r.vcKind {
+		r.vcKind[i] = cfg.KindOf(i)
+	}
 	rowLen := mesh.W
 	if mesh.H > rowLen {
 		rowLen = mesh.H
@@ -139,6 +164,30 @@ func (r *Router) DeliverFlit(dir topology.Dir, f msg.Flit) {
 // DeliverCredit accepts a credit returned on the output port at dir.
 func (r *Router) DeliverCredit(dir topology.Dir, vc int) {
 	r.out[dir].deliverCredit(vc, r.cfg.Depth)
+}
+
+// Active reports whether ticking the router this cycle can have any effect:
+// some input VC holds a packet mid-pipeline (RC, VA or active streaming), or
+// an ST register still holds a flit awaiting link traversal. An inactive
+// router's Tick is a no-op by construction — every stage is gated on one of
+// these counters, deferred output-VC release is re-run before the next VA,
+// and the policy update is idempotent at zero occupancy — so the tick engine
+// skips it entirely.
+func (r *Router) Active() bool {
+	return r.rcCount+r.vaCount+r.activeCount+r.stPending > 0
+}
+
+// BusyCreditWires reports whether any credit this router returned upstream
+// is still in flight on one of its input links. Drain detection uses it:
+// once no packets are in flight, the only possible residual activity is
+// credits pushed by routers that ticked last cycle.
+func (r *Router) BusyCreditWires() bool {
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		if l := r.in[d].link; l != nil && l.CreditsBusy() {
+			return true
+		}
+	}
+	return false
 }
 
 // Occupancy reports the occupied-input-VC count at the end of the last
@@ -197,18 +246,25 @@ func (r *Router) Tick(now int64) {
 	r.updatePolicy()
 }
 
-// switchTraversal moves last cycle's SA winners onto their links (ST + LT).
+// switchTraversal moves last cycle's SA winners onto their links (ST + LT),
+// visiting only the output ports whose ST register is occupied.
 func (r *Router) switchTraversal() {
-	for d, out := range r.out {
-		if !out.stValid || out.link == nil {
-			continue
-		}
-		if out.link.CanSendFlit() {
+	if r.stPending == 0 {
+		return
+	}
+	kept := r.stList[:0]
+	for _, d := range r.stList {
+		out := r.out[d]
+		if out.link != nil && out.link.CanSendFlit() {
 			out.link.SendFlit(out.st)
 			out.stValid = false
+			r.stPending--
 			r.flitsSent[d]++
+		} else {
+			kept = append(kept, d)
 		}
 	}
+	r.stList = kept
 }
 
 // FlitsSent reports the flits this router has pushed onto the output link
@@ -224,45 +280,88 @@ func (r *Router) switchAllocation() {
 		return
 	}
 	v := r.cfg.VCsPerPort()
-	// SA_in: nominate one VC per input port.
+	// SA_in: nominate one VC per input port, visiting only VCs in the
+	// active (streaming) stage. Ports with a single candidate skip
+	// priority computation and the arbiter scan (the outcome cannot
+	// depend on either). r.saReq stays all-false between ports: only the
+	// multi-candidate branch sets entries, and it clears them after use.
 	for d := topology.Dir(0); d < topology.NumDirs; d++ {
 		in := r.in[d]
 		r.saOutVC[d] = nil
-		any := false
-		for i, vc := range in.vcs {
-			ok := vc.stage == stageActive && !vc.buf.Empty()
-			if ok {
-				out := r.out[vc.outPort]
-				ov := out.vcs[vc.outVC]
-				ok = !out.stValid && (out.ejection || ov.credits > 0)
-			}
-			r.saReq[i] = ok
-			if ok {
-				r.saPrio[i] = r.pol.SAPriority(policy.FromPacket(vc.owner, r.app), r.now)
-				any = true
-			}
-		}
-		if !any {
+		if len(in.active) == 0 {
 			continue
 		}
-		if w := r.saInArb[d].Grant(r.saReq[:v], r.saPrio[:v]); w != arbiter.None {
-			r.saOutVC[d] = in.vcs[w]
+		cand := r.saCand[:0]
+		for _, i := range in.active {
+			vc := in.vcs[i]
+			if vc.buf.Empty() {
+				continue
+			}
+			out := r.out[vc.outPort]
+			if out.stValid || (!out.ejection && out.vcs[vc.outVC].credits <= 0) {
+				continue
+			}
+			cand = append(cand, i)
+		}
+		r.saCand = cand
+		switch len(cand) {
+		case 0:
+		case 1:
+			r.saInArb[d].GrantSingle(cand[0])
+			r.saOutVC[d] = in.vcs[cand[0]]
+		default:
+			for _, i := range cand {
+				r.saReq[i] = true
+				r.saPrio[i] = r.pol.SAPriority(policy.FromPacket(in.vcs[i].owner, r.app), r.now)
+			}
+			if w := r.saInArb[d].Grant(r.saReq[:v], r.saPrio[:v]); w != arbiter.None {
+				r.saOutVC[d] = in.vcs[w]
+			}
+			for _, i := range cand {
+				r.saReq[i] = false
+			}
 		}
 	}
-	// SA_out: arbitrate nominated VCs per output port.
-	for od := topology.Dir(0); od < topology.NumDirs; od++ {
-		any := false
-		for id := topology.Dir(0); id < topology.NumDirs; id++ {
-			vc := r.saOutVC[id]
-			req := vc != nil && vc.outPort == od
-			r.saOutReq[od][id] = req
-			if req {
-				r.saOutPri[od][id] = r.pol.SAPriority(policy.FromPacket(vc.owner, r.app), r.now)
-				any = true
+	// SA_out: arbitrate nominated VCs per output port. Only output ports
+	// that actually received a nomination are visited; an uncontended
+	// nomination (the common case) bypasses the request-row build and the
+	// arbiter scan with the exact same outcome.
+	var nomN int
+	var nom [topology.NumDirs]topology.Dir
+	for id := topology.Dir(0); id < topology.NumDirs; id++ {
+		if r.saOutVC[id] != nil {
+			nom[nomN] = id
+			nomN++
+		}
+	}
+	var done [topology.NumDirs]bool
+	for k := 0; k < nomN; k++ {
+		id := nom[k]
+		vc := r.saOutVC[id]
+		od := vc.outPort
+		if done[od] {
+			continue
+		}
+		done[od] = true
+		contended := false
+		for _, id2 := range nom[k+1 : nomN] {
+			if r.saOutVC[id2].outPort == od {
+				contended = true
+				break
 			}
 		}
-		if !any {
+		if !contended {
+			r.saOutArb[od].GrantSingle(int(id))
+			r.transfer(id, vc)
 			continue
+		}
+		for id2 := topology.Dir(0); id2 < topology.NumDirs; id2++ {
+			vc2 := r.saOutVC[id2]
+			req := vc2 != nil && vc2.outPort == od
+			r.saOutReq[od][id2] = req
+			if req {
+				r.saOutPri[od][id2] = r.pol.SAPriority(policy.FromPacket(vc2.owner, r.app), r.now)
+			}
 		}
 		w := r.saOutArb[od].Grant(r.saOutReq[od][:], r.saOutPri[od][:])
 		if w == arbiter.None {
@@ -291,6 +390,8 @@ func (r *Router) transfer(inDir topology.Dir, vc *inputVC) {
 	}
 	out.st = f
 	out.stValid = true
+	r.stPending++
+	r.stList = append(r.stList, vc.outPort)
 	if !out.ejection {
 		if ov.credits <= 0 {
 			panic("router: SA granted without credit")
@@ -312,7 +413,16 @@ func (r *Router) transfer(inDir topology.Dir, vc *inputVC) {
 		vc.stage = stageIdle
 		vc.owner = nil
 		ov.tailSent = true
+		out.draining = append(out.draining, vc.outVC)
+		out.freeable = true
 		r.activeCount--
+		inp := r.in[inDir]
+		for j, idx := range inp.active {
+			if idx == vc.idx {
+				inp.active = append(inp.active[:j], inp.active[j+1:]...)
+				break
+			}
+		}
 	}
 }
 
@@ -327,23 +437,33 @@ func (r *Router) vcAllocation() {
 	v := r.cfg.VCsPerPort()
 	r.vaTouched = r.vaTouched[:0]
 	for d := topology.Dir(0); d < topology.NumDirs; d++ {
-		for _, vc := range r.in[d].vcs {
-			if vc.stage != stageVA {
-				continue
-			}
+		in := r.in[d]
+		for _, i := range in.vaPend {
+			vc := in.vcs[i]
 			outGlobal, cls := r.vaInput(vc)
 			if outGlobal < 0 {
 				continue
 			}
 			inGlobal := int(d)*v + vc.idx
-			if r.rowEmpty(outGlobal) {
+			if r.vaReqN[outGlobal] == 0 {
 				r.vaTouched = append(r.vaTouched, outGlobal)
 			}
+			r.vaReqN[outGlobal]++
+			r.vaSingle[outGlobal] = inGlobal
 			r.vaReq[outGlobal][inGlobal] = true
 			r.vaPrio[outGlobal][inGlobal] = r.pol.VAOutPriority(policy.FromPacket(vc.owner, r.app), cls, r.now)
 		}
 	}
 	for _, og := range r.vaTouched {
+		if r.vaReqN[og] == 1 {
+			// Uncontended output VC: grant directly, clearing only the
+			// one filed request instead of rescanning the whole row.
+			w := r.vaArb[og].GrantSingle(r.vaSingle[og])
+			r.vaReq[og][w] = false
+			r.vaReqN[og] = 0
+			r.allocate(og, w)
+			continue
+		}
 		w := r.vaArb[og].Grant(r.vaReq[og], r.vaPrio[og])
 		if w != arbiter.None {
 			r.allocate(og, w)
@@ -351,18 +471,8 @@ func (r *Router) vcAllocation() {
 		for i := range r.vaReq[og] {
 			r.vaReq[og][i] = false
 		}
+		r.vaReqN[og] = 0
 	}
-}
-
-// rowEmpty reports whether no request has been filed yet for output VC og
-// this cycle (used to track which arbiters must run).
-func (r *Router) rowEmpty(og int) bool {
-	for _, b := range r.vaReq[og] {
-		if b {
-			return false
-		}
-	}
-	return true
 }
 
 // vaInput is the VA_in step for one input VC: route computation candidates,
@@ -397,7 +507,7 @@ func (r *Router) vaInput(vc *inputVC) (int, policy.VCClass) {
 		if ov.owner != nil {
 			continue
 		}
-		cls := r.cfg.KindOf(i)
+		cls := r.vcKind[i]
 		if cls == policy.VCEscape && port != escDir {
 			continue
 		}
@@ -458,6 +568,13 @@ func (r *Router) allocate(og, w int) {
 	vc.stage = stageActive
 	r.vaCount--
 	r.activeCount++
+	for j, idx := range in.vaPend {
+		if idx == vc.idx {
+			in.vaPend = append(in.vaPend[:j], in.vaPend[j+1:]...)
+			break
+		}
+	}
+	in.active = append(in.active, vc.idx)
 }
 
 // routeCompute advances heads that arrived last cycle into the VA stage.
@@ -466,16 +583,14 @@ func (r *Router) routeCompute() {
 		return
 	}
 	for d := topology.Dir(0); d < topology.NumDirs; d++ {
-		for _, vc := range r.in[d].vcs {
-			if vc.stage == stageRC {
-				vc.stage = stageVA
-				r.vaCount++
-				r.rcCount--
-				if r.rcCount == 0 {
-					return
-				}
-			}
+		in := r.in[d]
+		for _, i := range in.rcPend {
+			in.vcs[i].stage = stageVA
+			in.vaPend = append(in.vaPend, i)
+			r.vaCount++
+			r.rcCount--
 		}
+		in.rcPend = in.rcPend[:0]
 	}
 }
 

@@ -90,6 +90,25 @@ type Selector interface {
 	Select(cur, dst int, dirs []topology.Dir, view CongestionView) topology.Dir
 }
 
+// CongestionConsumer is implemented by selectors that read the propagated
+// non-local congestion signal (CongestionView.PathOccupancy). The network
+// runs the cycle-by-cycle DBAR propagation only when the configured selector
+// consumes it; selectors that don't implement the interface are
+// conservatively assumed to consume it.
+type CongestionConsumer interface {
+	// ConsumesCongestion reports whether Select ever calls PathOccupancy.
+	ConsumesCongestion() bool
+}
+
+// ConsumesCongestion reports whether sel needs the propagated congestion
+// signal: its CongestionConsumer answer if implemented, true otherwise.
+func ConsumesCongestion(sel Selector) bool {
+	if c, ok := sel.(CongestionConsumer); ok {
+		return c.ConsumesCongestion()
+	}
+	return true
+}
+
 // LocalSelector picks the candidate with the most free downstream credits,
 // breaking ties toward the first candidate (the X dimension, keeping the
 // tie-break deterministic).
@@ -97,6 +116,10 @@ type LocalSelector struct{}
 
 // Name implements Selector.
 func (LocalSelector) Name() string { return "Local" }
+
+// ConsumesCongestion implements CongestionConsumer: local selection reads
+// only the credit signal, so the network can skip DBAR propagation.
+func (LocalSelector) ConsumesCongestion() bool { return false }
 
 // Select implements Selector.
 func (LocalSelector) Select(cur, dst int, dirs []topology.Dir, view CongestionView) topology.Dir {
@@ -127,6 +150,10 @@ type DBARSelector struct {
 
 // Name implements Selector.
 func (DBARSelector) Name() string { return "DBAR" }
+
+// ConsumesCongestion implements CongestionConsumer: DBAR scoring is built on
+// the propagated per-dimension occupancy tables.
+func (DBARSelector) ConsumesCongestion() bool { return true }
 
 // Select implements Selector.
 func (s DBARSelector) Select(cur, dst int, dirs []topology.Dir, view CongestionView) topology.Dir {

@@ -109,6 +109,11 @@ type Config struct {
 
 	// Seed fixes all randomness (default 1).
 	Seed uint64
+
+	// Workers shards the network tick engine across this many goroutines
+	// (<= 1 runs serially). Results are bit-identical either way; see
+	// network.Params.Workers.
+	Workers int
 }
 
 // AppSpec describes one synthetic application's traffic.
@@ -444,7 +449,9 @@ func (s *Simulation) Run(ph Phases) (*Report, error) {
 				col.OnEject(p, now)
 			}
 		},
+		Workers: s.cfg.Workers,
 	})
+	defer net.Close()
 	inject := func(node int, p *msg.Packet, now int64) { net.NI(node).Inject(p, now) }
 
 	var tickers []func(now int64)
