@@ -19,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"rair"
@@ -68,6 +69,46 @@ func throughput(workers int) float64 {
 	return cycles / time.Since(start).Seconds()
 }
 
+// telemetryRun executes the standard throughput probe scenario with
+// telemetry enabled and writes the aggregated report to path (JSON). The
+// RAIR scheme with cross-region traffic exercises every counter family:
+// MSP grants/denials, DPA transitions and windowed OVC_f/OVC_n samples.
+func telemetryRun(path string, quick bool, seed uint64, traceEvery uint64) error {
+	sim, err := rair.New(rair.Config{
+		Layout: rair.LayoutQuadrants, Scheme: "RA_RAIR", Seed: seed,
+		Telemetry: true, TelemetryTraceEvery: traceEvery,
+	})
+	if err != nil {
+		return err
+	}
+	for a := 0; a < 4; a++ {
+		if err := sim.AddApp(rair.AppSpec{App: a, LoadFrac: 0.5, GlobalFrac: 0.2}); err != nil {
+			return err
+		}
+	}
+	ph := rair.PaperPhases()
+	if quick {
+		ph = rair.QuickPhases()
+	}
+	rep, err := sim.Run(ph)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr := rep.Telemetry.Report()
+	if err := tr.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d link flits, %d DPA transitions, %d windows at node 0)\n",
+		path, tr.Totals.LinkFlits, tr.Totals.DPAToNativeHigh+tr.Totals.DPAToForeignHigh,
+		len(tr.Routers[0].Windows))
+	return f.Close()
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "use reduced warmup/measurement windows")
 	name := flag.String("experiment", "", "run a single experiment (see -list)")
@@ -75,7 +116,40 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	csvDir := flag.String("csv", "", "also write each experiment's table as CSV into this directory")
 	jsonPath := flag.String("json", "", "write a machine-readable summary (cycles/s, headline reductions, timings) to this path, e.g. BENCH_results.json")
+	telemetry := flag.Bool("telemetry", false, "also run the standard probe scenario with telemetry and write its report")
+	telOut := flag.String("telemetry-out", "telemetry.json", "telemetry report path (with -telemetry)")
+	telTrace := flag.Uint64("telemetry-trace", 1000, "trace every N-th packet in the telemetry probe (0 = off)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this path")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		cf, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rairbench:", err)
+			os.Exit(1)
+		}
+		defer cf.Close()
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			fmt.Fprintln(os.Stderr, "rairbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			mf, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rairbench:", err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintln(os.Stderr, "rairbench:", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range rair.Experiments() {
@@ -115,6 +189,12 @@ func main() {
 	} else {
 		for _, e := range rair.Experiments() {
 			run(e.Name)
+		}
+	}
+	if *telemetry {
+		if err := telemetryRun(*telOut, *quick, *seed, *telTrace); err != nil {
+			fmt.Fprintln(os.Stderr, "rairbench:", err)
+			os.Exit(1)
 		}
 	}
 	if *jsonPath == "" {

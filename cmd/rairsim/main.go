@@ -4,19 +4,31 @@
 // Usage:
 //
 //	rairsim -f sim.json
+//	rairsim -f sim.json -telemetry -telemetry-out tel.json
 //	rairsim -example            # print an example configuration
 //
 // The file schema is documented in internal/config; in short it carries the
 // simulation configuration (mesh, region layout, scheme, router
 // parameters), the traffic (synthetic apps or the PARSEC proxies, plus an
 // optional adversarial injector) and the run phases.
+//
+// -telemetry instruments every router with MSP arbitration counters, DPA
+// transition counts and windowed occupancy/utilization series, written as
+// JSON (or CSV when the output path ends in .csv). With -telemetry-trace N
+// every N-th packet's flit lifecycle is additionally exported as Chrome
+// trace_event JSON next to the telemetry output; load it in
+// chrome://tracing or https://ui.perfetto.dev.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 
+	"rair"
 	"rair/internal/config"
 )
 
@@ -34,13 +46,26 @@ const example = `{
 }`
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rairsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	file := flag.String("f", "", "simulation description (JSON)")
 	showExample := flag.Bool("example", false, "print an example configuration and exit")
+	telemetry := flag.Bool("telemetry", false, "collect per-router telemetry (counters + windowed series)")
+	telOut := flag.String("telemetry-out", "telemetry.json", "telemetry report path (.json or .csv)")
+	telWindow := flag.Int64("telemetry-window", 0, "telemetry sampling window in cycles (0 = default 256)")
+	telTrace := flag.Uint64("telemetry-trace", 0, "trace every N-th packet's flit lifecycle (0 = off)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this path")
 	flag.Parse()
 
 	if *showExample {
 		fmt.Println(example)
-		return
+		return nil
 	}
 	if *file == "" {
 		fmt.Fprintln(os.Stderr, "rairsim: -f <file.json> required (see -example)")
@@ -48,16 +73,93 @@ func main() {
 	}
 	f, err := config.Load(*file)
 	if err != nil {
-		fatal(err)
+		return err
 	}
+	if *telemetry || *telTrace > 0 {
+		f.Config.Telemetry = true
+		f.Config.TelemetryWindow = *telWindow
+		f.Config.TelemetryTraceEvery = *telTrace
+	}
+
+	if *cpuprofile != "" {
+		cf, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer cf.Close()
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	rep, err := f.Run()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Print(rep)
+
+	if *memprofile != "" {
+		mf, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer mf.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			return err
+		}
+	}
+
+	if rep.Telemetry == nil {
+		return nil
+	}
+	if err := writeTelemetry(rep, *telOut); err != nil {
+		return err
+	}
+	if *telTrace > 0 {
+		tracePath := tracePathFor(*telOut)
+		tf, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		if err := rep.Telemetry.WriteChromeTrace(tf); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (open in chrome://tracing or ui.perfetto.dev)\n", tracePath)
+	}
+	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rairsim:", err)
-	os.Exit(1)
+// writeTelemetry writes the aggregated telemetry report as JSON, or CSV
+// when the path ends in .csv.
+func writeTelemetry(rep *rair.Report, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr := rep.Telemetry.Report()
+	if strings.HasSuffix(path, ".csv") {
+		err = tr.WriteCSV(f)
+	} else {
+		err = tr.WriteJSON(f)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return f.Close()
+}
+
+// tracePathFor derives the Chrome trace path from the telemetry output path:
+// report.json -> report.trace.json.
+func tracePathFor(out string) string {
+	for _, ext := range []string{".json", ".csv"} {
+		if strings.HasSuffix(out, ext) {
+			return strings.TrimSuffix(out, ext) + ".trace.json"
+		}
+	}
+	return out + ".trace.json"
 }

@@ -14,6 +14,7 @@ import (
 	"rair/internal/router"
 	"rair/internal/sim"
 	"rair/internal/stats"
+	"rair/internal/telemetry"
 	"rair/internal/traffic"
 )
 
@@ -46,6 +47,9 @@ type RunConfig struct {
 	// Workers selects the network's tick-engine shard count (<= 1 serial).
 	// Results are identical either way; see network.Params.Workers.
 	Workers int
+	// Telemetry, if non-nil, instruments the network's routers and NIs;
+	// see network.Params.Telemetry.
+	Telemetry *telemetry.Collector
 }
 
 // Run executes one simulation point and returns its statistics collector.
@@ -53,13 +57,14 @@ func Run(rc RunConfig) *stats.Collector {
 	col := stats.NewCollector(rc.Dur.Warmup, rc.Dur.Warmup+rc.Dur.Measure)
 	mesh := rc.Regions.Mesh()
 	net := network.New(network.Params{
-		Router:  rc.Router,
-		Regions: rc.Regions,
-		Alg:     rc.Scheme.Alg(mesh),
-		Sel:     rc.Scheme.Sel(rc.Regions, rc.Router),
-		Policy:  rc.Scheme.Policy,
-		OnEject: col.OnEject,
-		Workers: rc.Workers,
+		Router:    rc.Router,
+		Regions:   rc.Regions,
+		Alg:       rc.Scheme.Alg(mesh),
+		Sel:       rc.Scheme.Sel(rc.Regions, rc.Router),
+		Policy:    rc.Scheme.Policy,
+		OnEject:   col.OnEject,
+		Workers:   rc.Workers,
+		Telemetry: rc.Telemetry,
 	})
 	defer net.Close()
 	gen := traffic.NewGenerator(rc.Apps, rc.Seed, func(node int, p *msg.Packet, now int64) {

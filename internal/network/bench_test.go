@@ -9,6 +9,7 @@ import (
 	"rair/internal/router"
 	"rair/internal/routing"
 	"rair/internal/sim"
+	"rair/internal/telemetry"
 	"rair/internal/topology"
 )
 
@@ -75,6 +76,47 @@ func BenchmarkTickEngine(b *testing.B) {
 				Sel:     routing.LocalSelector{},
 				Policy:  core.NewFactory(core.Config{}),
 				Workers: tc.workers,
+			})
+			defer n.Close()
+			rng := sim.NewRNG(1)
+			var id uint64
+			var c int64
+			for ; c < 500; c++ {
+				inject(n, regions, rng, &id, c)
+				n.Tick(c)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inject(n, regions, rng, &id, c)
+				n.Tick(c)
+				c++
+			}
+		})
+	}
+}
+
+// BenchmarkTelemetry measures the instrumentation overhead on the loaded
+// 8x8 RAIR mesh: "off" must track BenchmarkNetworkTick (nil-probe guards
+// only), "on" shows the full counter + window-sampling cost.
+func BenchmarkTelemetry(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		tel  func() *telemetry.Collector
+	}{
+		{"off", func() *telemetry.Collector { return nil }},
+		{"on", func() *telemetry.Collector {
+			return telemetry.NewCollector(telemetry.Config{})
+		}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			regions := region.Quadrants(topology.NewMesh(8, 8))
+			n := New(Params{
+				Router:    router.DefaultConfig(1),
+				Regions:   regions,
+				Alg:       routing.MinimalAdaptive{Mesh: regions.Mesh()},
+				Sel:       routing.LocalSelector{},
+				Policy:    core.NewFactory(core.Config{}),
+				Telemetry: tc.tel(),
 			})
 			defer n.Close()
 			rng := sim.NewRNG(1)

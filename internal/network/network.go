@@ -25,6 +25,7 @@ import (
 	"rair/internal/region"
 	"rair/internal/router"
 	"rair/internal/routing"
+	"rair/internal/telemetry"
 	"rair/internal/topology"
 )
 
@@ -64,6 +65,13 @@ type Params struct {
 	Workers int
 	// Congestion gates DBAR propagation (default CongestionAuto).
 	Congestion CongestionMode
+	// Telemetry, if non-nil, instruments every router and NI with a
+	// per-node probe from the collector. Probes are written only by the
+	// owning shard during the compute phase; the window sampler and all
+	// cross-probe aggregation run on the goroutine calling Tick, so
+	// simulation results are bit-identical with telemetry on or off, at
+	// any worker count.
+	Telemetry *telemetry.Collector
 }
 
 // Network is a fully wired mesh NoC.
@@ -75,6 +83,8 @@ type Network struct {
 	links   []*router.Link // every link, for conservation accounting
 	eng     *engine
 	cong    bool
+	tel     *telemetry.Collector
+	probes  []*telemetry.Probe // per node, nil when telemetry is off
 	now     int64
 }
 
@@ -103,9 +113,17 @@ func New(p Params) *Network {
 	default:
 		panic(fmt.Sprintf("network: unknown congestion mode %d", p.Congestion))
 	}
+	if p.Telemetry != nil {
+		n.tel = p.Telemetry
+		n.probes = make([]*telemetry.Probe, mesh.N())
+	}
 	for id := 0; id < mesh.N(); id++ {
 		app := p.Regions.AppAt(id)
 		n.routers[id] = router.New(p.Router, id, app, mesh, p.Regions, p.Alg, p.Sel, p.Policy(id, app))
+		if n.tel != nil {
+			n.probes[id] = n.tel.ProbeFor(id, app)
+			n.routers[id].SetTelemetry(n.probes[id])
+		}
 	}
 	n.eng = newEngine(mesh, n.routers, n.nis, p.Workers)
 	// Inter-router links (one per direction per adjacent pair).
@@ -134,6 +152,9 @@ func New(p Params) *Network {
 			}
 		}
 		ni := router.NewNI(p.Router, id, p.Regions, inj, ej, onEject)
+		if n.tel != nil {
+			ni.SetTelemetry(n.probes[id])
+		}
 		n.nis[id] = ni
 		r.ConnectIn(topology.Local, inj)
 		r.ConnectOut(topology.Local, ej)
@@ -208,6 +229,15 @@ func (n *Network) Tick(now int64) {
 	if n.cong {
 		n.eng.run(phaseCongFill)
 		n.eng.run(phaseCongSwap)
+	}
+	// Sample telemetry windows on this goroutine after all barriers: every
+	// probe is quiescent (its owning shard finished the compute phase), so
+	// the read is race-free and deterministic.
+	if n.tel != nil && n.tel.Advance(now) {
+		for id, r := range n.routers {
+			nat, frn := r.OccupancyByKind()
+			n.probes[id].Sample(now, nat, frn)
+		}
 	}
 	// Replay buffered ejections in node order on this goroutine.
 	if n.params.OnEject != nil {

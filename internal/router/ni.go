@@ -7,6 +7,7 @@ import (
 	"rair/internal/policy"
 	"rair/internal/region"
 	"rair/internal/sim"
+	"rair/internal/telemetry"
 )
 
 // NI is a node's network interface. It owns the per-class source queues
@@ -44,6 +45,10 @@ type NI struct {
 	kinds []policy.VCClass // cached cfg.KindOf per VC index
 
 	onEject func(*msg.Packet, int64)
+
+	// tel is the node's telemetry probe (shared with the router); nil when
+	// telemetry is disabled.
+	tel *telemetry.Probe
 
 	created, injected, ejected int64
 }
@@ -87,6 +92,9 @@ func (ni *NI) Active() bool {
 
 // Node returns the NI's node id.
 func (ni *NI) Node() int { return ni.node }
+
+// SetTelemetry attaches a telemetry probe (nil detaches).
+func (ni *NI) SetTelemetry(p *telemetry.Probe) { ni.tel = p }
 
 // Inject queues a packet for injection at cycle now, stamping its creation
 // time, batch and regional/global classification.
@@ -145,6 +153,9 @@ func (ni *NI) DeliverFlit(f msg.Flit, now int64) {
 	if f.Type.IsTail() {
 		f.Pkt.EjectedAt = now
 		ni.ejected++
+		if ni.tel != nil && ni.tel.Traced(f.Pkt.ID) {
+			ni.tel.Lifecycle(f.Pkt.ID, telemetry.StageEject, now)
+		}
 		if ni.onEject != nil {
 			ni.onEject(f.Pkt, now)
 		}
@@ -189,6 +200,9 @@ func (ni *NI) claim() {
 		}
 		vc := ni.freeVC(msg.Class(cls))
 		if vc < 0 {
+			if ni.tel != nil {
+				ni.tel.InjectStall()
+			}
 			continue
 		}
 		p, _ := q.Pop()
@@ -238,6 +252,9 @@ func (ni *NI) sendOne(now int64) {
 		if f.Type.IsHead() {
 			f.Pkt.InjectedAt = now
 			ni.injected++
+			if ni.tel != nil && ni.tel.Traced(f.Pkt.ID) {
+				ni.tel.Lifecycle(f.Pkt.ID, telemetry.StageInject, now)
+			}
 		}
 		ni.inj.SendFlit(f)
 		ni.credits[vc]--

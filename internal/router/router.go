@@ -8,8 +8,15 @@ import (
 	"rair/internal/policy"
 	"rair/internal/region"
 	"rair/internal/routing"
+	"rair/internal/telemetry"
 	"rair/internal/topology"
 )
+
+// dpaPolicy is the optional policy facet exposing the DPA priority state;
+// telemetry uses it to count transitions without widening policy.Policy.
+type dpaPolicy interface {
+	NativeHigh() bool
+}
 
 // Router is one node's pipelined VC router. Each router is tagged with the
 // application number assigned to its node (Figure 5); packets carry their
@@ -81,6 +88,13 @@ type Router struct {
 	// instrumentation).
 	flitsSent [topology.NumDirs]int64
 
+	// tel is the node's telemetry probe; nil when telemetry is disabled,
+	// and every hot-path use is guarded on that. telDPA is the policy's
+	// optional DPA facet, telNativeHigh the last observed priority state.
+	tel           *telemetry.Probe
+	telDPA        dpaPolicy
+	telNativeHigh bool
+
 	now int64
 }
 
@@ -140,6 +154,26 @@ func (r *Router) App() int { return r.app }
 
 // Policy returns the router's interference-reduction policy instance.
 func (r *Router) Policy() policy.Policy { return r.pol }
+
+// SetTelemetry attaches a telemetry probe (nil detaches). When the policy
+// exposes a DPA state (NativeHigh), transitions are counted from its
+// current value.
+func (r *Router) SetTelemetry(p *telemetry.Probe) {
+	r.tel = p
+	r.telDPA = nil
+	if p != nil {
+		if d, ok := r.pol.(dpaPolicy); ok {
+			r.telDPA = d
+			r.telNativeHigh = d.NativeHigh()
+		}
+	}
+}
+
+// OccupancyByKind reports the router's DPA occupancy registers: input VCs
+// held by native vs. foreign traffic at the end of the last cycle.
+func (r *Router) OccupancyByKind() (native, foreign int) {
+	return r.nativeOcc, r.foreignOcc
+}
 
 // ConnectIn attaches the upstream link feeding the input port at dir.
 func (r *Router) ConnectIn(dir topology.Dir, l *Link) { r.in[dir].link = l }
@@ -260,6 +294,12 @@ func (r *Router) switchTraversal() {
 			out.stValid = false
 			r.stPending--
 			r.flitsSent[d]++
+			if r.tel != nil {
+				r.tel.LinkFlit()
+				if out.st.Type.IsHead() && r.tel.Traced(out.st.Pkt.ID) {
+					r.tel.Lifecycle(out.st.Pkt.ID, telemetry.StageST, r.now)
+				}
+			}
 		} else {
 			kept = append(kept, d)
 		}
@@ -299,6 +339,9 @@ func (r *Router) switchAllocation() {
 			}
 			out := r.out[vc.outPort]
 			if out.stValid || (!out.ejection && out.vcs[vc.outVC].credits <= 0) {
+				if r.tel != nil && !out.stValid {
+					r.tel.CreditStall()
+				}
 				continue
 			}
 			cand = append(cand, i)
@@ -309,13 +352,27 @@ func (r *Router) switchAllocation() {
 		case 1:
 			r.saInArb[d].GrantSingle(cand[0])
 			r.saOutVC[d] = in.vcs[cand[0]]
+			if r.tel != nil {
+				r.tel.SAInGrant(r.regions.Native(r.node, in.vcs[cand[0]].owner.App))
+			}
 		default:
 			for _, i := range cand {
 				r.saReq[i] = true
 				r.saPrio[i] = r.pol.SAPriority(policy.FromPacket(in.vcs[i].owner, r.app), r.now)
 			}
-			if w := r.saInArb[d].Grant(r.saReq[:v], r.saPrio[:v]); w != arbiter.None {
+			w := r.saInArb[d].Grant(r.saReq[:v], r.saPrio[:v])
+			if w != arbiter.None {
 				r.saOutVC[d] = in.vcs[w]
+			}
+			if r.tel != nil {
+				for _, i := range cand {
+					native := r.regions.Native(r.node, in.vcs[i].owner.App)
+					if i == w {
+						r.tel.SAInGrant(native)
+					} else {
+						r.tel.SAInDeny(native)
+					}
+				}
 			}
 			for _, i := range cand {
 				r.saReq[i] = false
@@ -352,6 +409,9 @@ func (r *Router) switchAllocation() {
 		}
 		if !contended {
 			r.saOutArb[od].GrantSingle(int(id))
+			if r.tel != nil {
+				r.tel.SAOutGrant(r.regions.Native(r.node, vc.owner.App))
+			}
 			r.transfer(id, vc)
 			continue
 		}
@@ -364,6 +424,19 @@ func (r *Router) switchAllocation() {
 			}
 		}
 		w := r.saOutArb[od].Grant(r.saOutReq[od][:], r.saOutPri[od][:])
+		if r.tel != nil {
+			for id2 := topology.Dir(0); id2 < topology.NumDirs; id2++ {
+				if !r.saOutReq[od][id2] {
+					continue
+				}
+				native := r.regions.Native(r.node, r.saOutVC[id2].owner.App)
+				if int(id2) == w {
+					r.tel.SAOutGrant(native)
+				} else {
+					r.tel.SAOutDeny(native)
+				}
+			}
+		}
 		if w == arbiter.None {
 			continue
 		}
@@ -384,6 +457,9 @@ func (r *Router) transfer(inDir topology.Dir, vc *inputVC) {
 	f.VC = vc.outVC
 	if f.Type.IsHead() {
 		f.Pkt.Hops++
+		if r.tel != nil && r.tel.Traced(f.Pkt.ID) {
+			r.tel.Lifecycle(f.Pkt.ID, telemetry.StageSA, r.now)
+		}
 	}
 	if out.stValid {
 		panic("router: ST register collision")
@@ -465,6 +541,14 @@ func (r *Router) vcAllocation() {
 			continue
 		}
 		w := r.vaArb[og].Grant(r.vaReq[og], r.vaPrio[og])
+		if r.tel != nil {
+			for i, req := range r.vaReq[og] {
+				if req && i != w {
+					lost := r.in[topology.Dir(i/v)].vcs[i%v]
+					r.tel.VADeny(r.regions.Native(r.node, lost.owner.App))
+				}
+			}
+		}
 		if w != arbiter.None {
 			r.allocate(og, w)
 		}
@@ -560,6 +644,12 @@ func (r *Router) allocate(og, w int) {
 	if ov.credits != r.cfg.Depth {
 		panic("router: output VC allocated before credits drained")
 	}
+	if r.tel != nil {
+		r.tel.VAGrant(r.regions.Native(r.node, vc.owner.App))
+		if r.tel.Traced(vc.owner.ID) {
+			r.tel.Lifecycle(vc.owner.ID, telemetry.StageVA, r.now)
+		}
+	}
 	ov.owner = vc.owner
 	ov.tailSent = false
 	out.allocated++
@@ -585,10 +675,14 @@ func (r *Router) routeCompute() {
 	for d := topology.Dir(0); d < topology.NumDirs; d++ {
 		in := r.in[d]
 		for _, i := range in.rcPend {
-			in.vcs[i].stage = stageVA
+			vc := in.vcs[i]
+			vc.stage = stageVA
 			in.vaPend = append(in.vaPend, i)
 			r.vaCount++
 			r.rcCount--
+			if r.tel != nil && r.tel.Traced(vc.owner.ID) {
+				r.tel.Lifecycle(vc.owner.ID, telemetry.StageRC, r.now)
+			}
 		}
 		in.rcPend = in.rcPend[:0]
 	}
@@ -601,6 +695,12 @@ func (r *Router) routeCompute() {
 func (r *Router) updatePolicy() {
 	r.pol.Update(r.nativeOcc, r.foreignOcc)
 	r.occSnap = r.nativeOcc + r.foreignOcc
+	if r.telDPA != nil {
+		if nh := r.telDPA.NativeHigh(); nh != r.telNativeHigh {
+			r.tel.DPATransition(nh)
+			r.telNativeHigh = nh
+		}
+	}
 }
 
 // BufferedFlits reports the total flits buffered in all input VCs (used by

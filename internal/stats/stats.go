@@ -16,17 +16,33 @@ import (
 // Dist accumulates a latency distribution. Samples are retained for exact
 // percentiles; evaluation windows are small enough (tens of thousands of
 // packets) that this is cheap.
+//
+// Percentile sorts lazily into a separate copy, so the insertion-ordered
+// samples are never reordered: readers iterating the distribution (e.g.
+// Histogram) observe samples in Add order regardless of interleaved
+// Percentile calls. The sorted copy is cached and rebuilt only when samples
+// were added since it was built (samples only ever append, so a length
+// mismatch is the exact staleness condition). Building the cache mutates
+// the Dist: like Add, Percentile/Max/Histogram need external
+// synchronization if the same Dist is shared across goroutines.
 type Dist struct {
 	samples []float64
 	sum     float64
-	sorted  bool
+	sorted  []float64 // lazily built sorted copy of samples
 }
 
 // Add records one sample.
 func (d *Dist) Add(v float64) {
 	d.samples = append(d.samples, v)
 	d.sum += v
-	d.sorted = false
+}
+
+// Merge folds another distribution's samples into d (per-shard or
+// per-run distributions combined for aggregate percentiles). The other
+// distribution is not modified.
+func (d *Dist) Merge(o *Dist) {
+	d.samples = append(d.samples, o.samples...)
+	d.sum += o.sum
 }
 
 // Count reports the number of samples.
@@ -45,21 +61,21 @@ func (d *Dist) Percentile(p float64) float64 {
 	if len(d.samples) == 0 {
 		return 0
 	}
-	if !d.sorted {
-		sort.Float64s(d.samples)
-		d.sorted = true
+	if len(d.sorted) != len(d.samples) {
+		d.sorted = append(d.sorted[:0], d.samples...)
+		sort.Float64s(d.sorted)
 	}
 	if p <= 0 {
-		return d.samples[0]
+		return d.sorted[0]
 	}
 	if p >= 100 {
-		return d.samples[len(d.samples)-1]
+		return d.sorted[len(d.sorted)-1]
 	}
-	idx := p / 100 * float64(len(d.samples)-1)
+	idx := p / 100 * float64(len(d.sorted)-1)
 	lo := int(math.Floor(idx))
 	hi := int(math.Ceil(idx))
 	frac := idx - float64(lo)
-	return d.samples[lo]*(1-frac) + d.samples[hi]*frac
+	return d.sorted[lo]*(1-frac) + d.sorted[hi]*frac
 }
 
 // Max reports the largest sample (0 with no samples).

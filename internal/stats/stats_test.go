@@ -194,3 +194,60 @@ func TestHistogram(t *testing.T) {
 		t.Fatal("bins not clamped high")
 	}
 }
+
+// TestPercentileDoesNotReorderSamples pins the isolation of the lazy sort:
+// Percentile must never mutate the insertion order that Histogram and other
+// sample readers observe.
+func TestPercentileDoesNotReorderSamples(t *testing.T) {
+	var d Dist
+	in := []float64{9, 1, 7, 3, 5}
+	for _, v := range in {
+		d.Add(v)
+	}
+	if got := d.Percentile(50); got != 5 {
+		t.Fatalf("p50 = %v, want 5", got)
+	}
+	for i, v := range d.samples {
+		if v != in[i] {
+			t.Fatalf("Percentile reordered samples: %v (inserted %v)", d.samples, in)
+		}
+	}
+	// The sorted cache goes stale on Add and is rebuilt.
+	d.Add(0)
+	if got := d.Percentile(0); got != 0 {
+		t.Fatalf("p0 after add = %v, want 0", got)
+	}
+	if d.samples[len(d.samples)-1] != 0 {
+		t.Fatalf("samples reordered after stale rebuild: %v", d.samples)
+	}
+}
+
+func TestDistMerge(t *testing.T) {
+	var a, b Dist
+	for _, v := range []float64{1, 2, 3} {
+		a.Add(v)
+	}
+	for _, v := range []float64{10, 20} {
+		b.Add(v)
+	}
+	a.Merge(&b)
+	if a.Count() != 5 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if got, want := a.Mean(), 36.0/5; got != want {
+		t.Fatalf("merged mean = %v, want %v", got, want)
+	}
+	if got := a.Percentile(100); got != 20 {
+		t.Fatalf("merged max = %v, want 20", got)
+	}
+	// Merge must leave the source untouched.
+	if b.Count() != 2 || b.Mean() != 15 {
+		t.Fatalf("source modified by merge: count=%d mean=%v", b.Count(), b.Mean())
+	}
+	// Merging an empty Dist is a no-op.
+	var empty Dist
+	a.Merge(&empty)
+	if a.Count() != 5 {
+		t.Fatal("merge of empty dist changed count")
+	}
+}

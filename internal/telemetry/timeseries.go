@@ -1,0 +1,91 @@
+package telemetry
+
+// WindowSample is one closed sampling window at one router: the DPA
+// occupancy registers (VC occupancy by region tag) at the window boundary,
+// the derived OVC_f/OVC_n ratio, and the flits the router pushed onto its
+// output links during the window.
+type WindowSample struct {
+	// Cycle is the last cycle included in the window.
+	Cycle int64 `json:"cycle"`
+	// OVCNative / OVCForeign are the router's occupied-VC registers at
+	// the boundary (the inputs to DPA, Section IV.C).
+	OVCNative  int `json:"ovcNative"`
+	OVCForeign int `json:"ovcForeign"`
+	// Ratio is OVC_f/OVC_n; -1 encodes the infinite ratio (foreign
+	// occupancy with no native occupancy), 0 when both registers are
+	// empty.
+	Ratio float64 `json:"ratio"`
+	// LinkFlits is the number of flits pushed onto the router's output
+	// links during the window; Utilization is LinkFlits per cycle (an
+	// upper bound of one per connected output link).
+	LinkFlits   int64   `json:"linkFlits"`
+	Utilization float64 `json:"utilization"`
+}
+
+// winRing is a fixed-capacity ring of window samples; once full, the
+// oldest window is overwritten.
+type winRing struct {
+	buf  []WindowSample
+	next int
+	full bool
+}
+
+func (r *winRing) push(cap int, s WindowSample) {
+	if r.buf == nil {
+		r.buf = make([]WindowSample, 0, cap)
+	}
+	if len(r.buf) < cap {
+		r.buf = append(r.buf, s)
+		return
+	}
+	r.buf[r.next] = s
+	r.next = (r.next + 1) % cap
+	r.full = true
+}
+
+// ordered returns the retained samples in chronological order.
+func (r *winRing) ordered() []WindowSample {
+	if !r.full {
+		return r.buf
+	}
+	out := make([]WindowSample, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Sample closes a window at cycle now: the network calls it for every
+// probe when Advance reports a window boundary, passing the router's DPA
+// occupancy registers. Link flits are differenced against the previous
+// boundary from the probe's own counter.
+func (p *Probe) Sample(now int64, ovcNative, ovcForeign int) {
+	if p == nil {
+		return
+	}
+	delta := p.c.LinkFlits - p.lastFlits
+	p.lastFlits = p.c.LinkFlits
+	ratio := 0.0
+	switch {
+	case ovcNative > 0:
+		ratio = float64(ovcForeign) / float64(ovcNative)
+	case ovcForeign > 0:
+		ratio = -1 // infinite: foreign occupancy against empty native
+	}
+	p.win.push(p.col.cfg.WindowCap, WindowSample{
+		Cycle:       now,
+		OVCNative:   ovcNative,
+		OVCForeign:  ovcForeign,
+		Ratio:       ratio,
+		LinkFlits:   delta,
+		Utilization: float64(delta) / float64(p.col.cfg.Window),
+	})
+}
+
+// Windows returns the probe's retained window samples in chronological
+// order.
+func (p *Probe) Windows() []WindowSample {
+	if p == nil {
+		return nil
+	}
+	return p.win.ordered()
+}

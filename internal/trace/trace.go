@@ -53,19 +53,24 @@ func (t *Trace) Sort() {
 }
 
 // Validate checks cycle monotonicity and field sanity for a mesh of n
-// nodes.
+// nodes. Errors name the offending event index, field and value so a bad
+// capture can be located without a hex dump.
 func (t *Trace) Validate(n int) error {
 	var prev int64
 	for i, e := range t.Events {
 		switch {
+		case e.Cycle < 0:
+			return fmt.Errorf("trace: event %d: cycle is %d, must be non-negative", i, e.Cycle)
 		case e.Cycle < prev:
-			return fmt.Errorf("trace: event %d cycle %d before %d", i, e.Cycle, prev)
-		case e.Src < 0 || int(e.Src) >= n || e.Dst < 0 || int(e.Dst) >= n:
-			return fmt.Errorf("trace: event %d endpoints %d->%d outside %d nodes", i, e.Src, e.Dst, n)
+			return fmt.Errorf("trace: event %d: cycle %d regresses below event %d's cycle %d", i, e.Cycle, i-1, prev)
+		case e.Src < 0 || int(e.Src) >= n:
+			return fmt.Errorf("trace: event %d: src %d outside mesh of %d nodes", i, e.Src, n)
+		case e.Dst < 0 || int(e.Dst) >= n:
+			return fmt.Errorf("trace: event %d: dst %d outside mesh of %d nodes", i, e.Dst, n)
 		case e.Size < 1:
-			return fmt.Errorf("trace: event %d empty packet", i)
+			return fmt.Errorf("trace: event %d: size %d, packets need at least one flit", i, e.Size)
 		case e.Class < 0 || e.Class >= msg.NumClasses:
-			return fmt.Errorf("trace: event %d bad class %d", i, e.Class)
+			return fmt.Errorf("trace: event %d: class %d outside [0,%d)", i, e.Class, msg.NumClasses)
 		}
 		prev = e.Cycle
 	}

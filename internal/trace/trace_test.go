@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -224,5 +225,51 @@ func TestPlayerCatchesUpAfterGap(t *testing.T) {
 	p.Tick(tr.Duration() + 1)
 	if n != tr.Len() {
 		t.Fatalf("caught up %d of %d", n, tr.Len())
+	}
+}
+
+// TestValidateMalformed covers each malformed-field case and pins the
+// error messages to include the offending event index, field and value.
+func TestValidateMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   []Event
+		want string
+	}{
+		{"negative cycle", []Event{{Cycle: -3, Size: 1}},
+			"event 0: cycle is -3"},
+		{"cycle regression", []Event{{Cycle: 7, Size: 1}, {Cycle: 2, Size: 1}},
+			"event 1: cycle 2 regresses below event 0's cycle 7"},
+		{"negative src", []Event{{Cycle: 0, Src: -1, Size: 1}},
+			"event 0: src -1 outside mesh of 16 nodes"},
+		{"src out of range", []Event{{Cycle: 0, Src: 16, Size: 1}},
+			"event 0: src 16 outside mesh of 16 nodes"},
+		{"negative dst", []Event{{Cycle: 0, Dst: -2, Size: 1}},
+			"event 0: dst -2 outside mesh of 16 nodes"},
+		{"dst out of range", []Event{{Cycle: 0, Dst: 99, Size: 1}},
+			"event 0: dst 99 outside mesh of 16 nodes"},
+		{"negative size", []Event{{Cycle: 0, Size: -5}},
+			"event 0: size -5"},
+		{"zero size", []Event{{Cycle: 0, Size: 0}},
+			"event 0: size 0"},
+		{"negative class", []Event{{Cycle: 0, Size: 1, Class: -1}},
+			"event 0: class -1 outside"},
+		{"class out of range", []Event{{Cycle: 0, Size: 1, Class: 42}},
+			"event 0: class 42 outside"},
+	}
+	for _, tc := range cases {
+		tr := &Trace{Events: tc.ev}
+		err := tr.Validate(16)
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not name the field (want substring %q)", tc.name, err, tc.want)
+		}
+	}
+	// The second event's index is reported, not the first's.
+	tr := &Trace{Events: []Event{{Cycle: 0, Size: 1}, {Cycle: 1, Src: 50, Size: 1}}}
+	if err := tr.Validate(16); err == nil || !strings.Contains(err.Error(), "event 1:") {
+		t.Fatalf("wrong index in %v", err)
 	}
 }

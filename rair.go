@@ -44,6 +44,7 @@ import (
 	"rair/internal/routing"
 	"rair/internal/sim"
 	"rair/internal/stats"
+	"rair/internal/telemetry"
 	"rair/internal/topology"
 	"rair/internal/traffic"
 	"rair/internal/workload"
@@ -114,6 +115,17 @@ type Config struct {
 	// (<= 1 runs serially). Results are bit-identical either way; see
 	// network.Params.Workers.
 	Workers int
+
+	// Telemetry enables per-router instrumentation (MSP arbitration
+	// counters, DPA transitions, windowed occupancy/utilization series).
+	// Simulation results are bit-identical with it on or off; the cost is
+	// a modest slowdown and the collector's memory.
+	Telemetry bool
+	// TelemetryWindow is the sampling window in cycles (default 256).
+	TelemetryWindow int64
+	// TelemetryTraceEvery samples every N-th packet for flit-lifecycle
+	// tracing (0 disables tracing; requires Telemetry).
+	TelemetryTraceEvery uint64
 }
 
 // AppSpec describes one synthetic application's traffic.
@@ -401,6 +413,10 @@ type Report struct {
 	LatencyHistogram string
 	// Heatmap is an ASCII map of per-router link utilization.
 	Heatmap string
+	// Telemetry holds the instrumentation collector when Config.Telemetry
+	// was set (nil otherwise): use Telemetry.Report() for the aggregated
+	// counters and Telemetry.WriteChromeTrace for the lifecycle trace.
+	Telemetry *telemetry.Collector
 }
 
 func (r *Report) String() string {
@@ -435,6 +451,13 @@ func (s *Simulation) Run(ph Phases) (*Report, error) {
 	if alg == nil {
 		alg = s.scheme.Alg(mesh)
 	}
+	var tel *telemetry.Collector
+	if s.cfg.Telemetry {
+		tel = telemetry.NewCollector(telemetry.Config{
+			Window:     s.cfg.TelemetryWindow,
+			TraceEvery: s.cfg.TelemetryTraceEvery,
+		})
+	}
 	net := network.New(network.Params{
 		Router:  s.rcfg,
 		Regions: s.regions,
@@ -449,7 +472,8 @@ func (s *Simulation) Run(ph Phases) (*Report, error) {
 				col.OnEject(p, now)
 			}
 		},
-		Workers: s.cfg.Workers,
+		Workers:   s.cfg.Workers,
+		Telemetry: tel,
 	})
 	defer net.Close()
 	inject := func(node int, p *msg.Packet, now int64) { net.NI(node).Inject(p, now) }
@@ -504,6 +528,7 @@ func (s *Simulation) Run(ph Phases) (*Report, error) {
 		AvgHops:          col.Hops().Mean(),
 		LatencyHistogram: col.Total().Histogram(12),
 		Heatmap:          net.UtilizationHeatmap(end),
+		Telemetry:        tel,
 	}
 	for _, app := range col.Apps() {
 		rep.PerApp[app] = col.App(app).Mean()
