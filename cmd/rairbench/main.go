@@ -109,6 +109,51 @@ func telemetryRun(path string, quick bool, seed uint64, traceEvery uint64) error
 	return f.Close()
 }
 
+// faultRun executes the standard probe scenario with the invariant checker
+// enabled and (when spec is non-empty) fault injection: a seeded smoke
+// proving the network drains, delivers every packet and passes every
+// invariant while links drop, corrupt and leak and routers stall. CI uses
+// it as the fault-injection smoke job.
+func faultRun(spec string, quick bool, seed uint64) error {
+	var fs *rair.FaultSpec
+	if spec != "" {
+		var err error
+		if fs, err = rair.ParseFaultSpec(spec); err != nil {
+			return err
+		}
+	}
+	sim, err := rair.New(rair.Config{
+		Layout: rair.LayoutQuadrants, Scheme: "RA_RAIR", Seed: seed,
+		Faults: fs, CheckInvariants: true,
+	})
+	if err != nil {
+		return err
+	}
+	for a := 0; a < 4; a++ {
+		if err := sim.AddApp(rair.AppSpec{App: a, LoadFrac: 0.5, GlobalFrac: 0.2}); err != nil {
+			return err
+		}
+	}
+	ph := rair.PaperPhases()
+	if quick {
+		ph = rair.QuickPhases()
+	}
+	rep, err := sim.Run(ph)
+	if err != nil {
+		return err
+	}
+	if rep.Faults != nil {
+		if rep.Faults.LostFlits > 0 {
+			return fmt.Errorf("fault run lost %d flits permanently (retry budget too small for the configured rates)", rep.Faults.LostFlits)
+		}
+		fmt.Printf("fault smoke passed: %d packets delivered under faults, all invariants held\n  %s\n",
+			rep.Packets, rep.Faults)
+	} else {
+		fmt.Printf("invariant smoke passed: %d packets delivered, all invariants held\n", rep.Packets)
+	}
+	return nil
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "use reduced warmup/measurement windows")
 	name := flag.String("experiment", "", "run a single experiment (see -list)")
@@ -121,7 +166,17 @@ func main() {
 	telTrace := flag.Uint64("telemetry-trace", 1000, "trace every N-th packet in the telemetry probe (0 = off)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this path")
+	faultSpec := flag.String("faults", "", "run only the fault-injection smoke scenario with this spec, e.g. drop=0.001,corrupt=0.001,stall=0.0002 (implies -check-invariants)")
+	checkInv := flag.Bool("check-invariants", false, "run only the invariant-checked probe scenario (no experiments); combine with -faults for the fault smoke")
 	flag.Parse()
+
+	if *faultSpec != "" || *checkInv {
+		if err := faultRun(*faultSpec, *quick, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "rairbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *cpuprofile != "" {
 		cf, err := os.Create(*cpuprofile)

@@ -5,6 +5,7 @@
 //
 //	rairsim -f sim.json
 //	rairsim -f sim.json -telemetry -telemetry-out tel.json
+//	rairsim -f sim.json -faults drop=0.001,corrupt=0.001 -check-invariants
 //	rairsim -example            # print an example configuration
 //
 // The file schema is documented in internal/config; in short it carries the
@@ -18,6 +19,12 @@
 // every N-th packet's flit lifecycle is additionally exported as Chrome
 // trace_event JSON next to the telemetry output; load it in
 // chrome://tracing or https://ui.perfetto.dev.
+//
+// -faults injects deterministic seeded faults (link flit drops and
+// corruptions recovered by retransmission, credit leaks repaired by
+// reconciliation, transient router stalls); the report then carries a fault
+// summary. -check-invariants runs the runtime invariant checker at every
+// cycle and fails the run on any violation. See DESIGN.md for both.
 package main
 
 import (
@@ -61,6 +68,8 @@ func run() error {
 	telTrace := flag.Uint64("telemetry-trace", 0, "trace every N-th packet's flit lifecycle (0 = off)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this path")
+	faultSpec := flag.String("faults", "", "inject deterministic faults, e.g. drop=0.001,corrupt=0.001,leak=0.0005,stall=0.0002")
+	checkInv := flag.Bool("check-invariants", false, "run the runtime invariant checker at every cycle")
 	flag.Parse()
 
 	if *showExample {
@@ -80,6 +89,16 @@ func run() error {
 		f.Config.TelemetryWindow = *telWindow
 		f.Config.TelemetryTraceEvery = *telTrace
 	}
+	if *faultSpec != "" {
+		fs, err := rair.ParseFaultSpec(*faultSpec)
+		if err != nil {
+			return err
+		}
+		f.Config.Faults = fs
+	}
+	if *checkInv {
+		f.Config.CheckInvariants = true
+	}
 
 	if *cpuprofile != "" {
 		cf, err := os.Create(*cpuprofile)
@@ -98,6 +117,12 @@ func run() error {
 		return err
 	}
 	fmt.Print(rep)
+	if rep.Faults != nil {
+		fmt.Println(rep.Faults)
+	}
+	if f.Config.CheckInvariants {
+		fmt.Println("invariants: all checks passed")
+	}
 
 	if *memprofile != "" {
 		mf, err := os.Create(*memprofile)

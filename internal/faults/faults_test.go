@@ -1,0 +1,472 @@
+package faults_test
+
+import (
+	"strings"
+	"testing"
+
+	"rair/internal/faults"
+	"rair/internal/msg"
+	"rair/internal/router"
+)
+
+// mkInjector builds an injector for n nodes, failing the test on error.
+func mkInjector(t *testing.T, cfg faults.Config, nodes int) *faults.Injector {
+	t.Helper()
+	in, err := faults.NewInjector(cfg, nodes)
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	return in
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []faults.Config{
+		{Link: faults.LinkProfile{DropProb: -0.1}},
+		{Link: faults.LinkProfile{CorruptProb: 1.5}},
+		{PerLink: map[string]faults.LinkProfile{"r0>r1": {CreditLeakProb: 2}}},
+		{Router: faults.RouterProfile{StallProb: -1}},
+		{PerRouter: map[int]faults.RouterProfile{3: {StallProb: 7}}},
+		{MaxRetries: -1},
+		{DropTimeout: -5},
+		{NackLatency: -2},
+		{ReconcileEvery: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid config %+v", i, c)
+		}
+	}
+	good := faults.Config{Link: faults.LinkProfile{DropProb: 0.5, CorruptProb: 0.5}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate rejected valid config: %v", err)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	in := mkInjector(t, faults.Config{Router: faults.RouterProfile{StallProb: 0.1}}, 1)
+	cfg := in.Config()
+	if cfg.MaxRetries != faults.DefaultMaxRetries {
+		t.Errorf("MaxRetries default = %d, want %d", cfg.MaxRetries, faults.DefaultMaxRetries)
+	}
+	if cfg.DropTimeout != faults.DefaultDropTimeout {
+		t.Errorf("DropTimeout default = %d, want %d", cfg.DropTimeout, faults.DefaultDropTimeout)
+	}
+	if cfg.NackLatency != faults.DefaultNackLatency {
+		t.Errorf("NackLatency default = %d, want %d", cfg.NackLatency, faults.DefaultNackLatency)
+	}
+	if cfg.Router.StallLen != faults.DefaultStallLen {
+		t.Errorf("StallLen default = %d, want %d", cfg.Router.StallLen, faults.DefaultStallLen)
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if (faults.Config{}).Enabled() {
+		t.Error("zero config reports Enabled")
+	}
+	cases := []faults.Config{
+		{Link: faults.LinkProfile{DropProb: 0.1}},
+		{Router: faults.RouterProfile{StallProb: 0.1}},
+		{PerLink: map[string]faults.LinkProfile{"r0>r1": {}}},
+		{PerRouter: map[int]faults.RouterProfile{0: {}}},
+	}
+	for i, c := range cases {
+		if !c.Enabled() {
+			t.Errorf("case %d: config %+v reports disabled", i, c)
+		}
+	}
+}
+
+func TestKeys(t *testing.T) {
+	if got := faults.LinkKey(3, 4); got != "r3>r4" {
+		t.Errorf("LinkKey(3,4) = %q", got)
+	}
+	if got := faults.NIKey(5, true); got != "ni5>r5" {
+		t.Errorf("NIKey(5,true) = %q", got)
+	}
+	if got := faults.NIKey(5, false); got != "r5>ni5" {
+		t.Errorf("NIKey(5,false) = %q", got)
+	}
+}
+
+// driveLink pushes every flit of pkts through a faulty link in order, one
+// flit per cycle when the wire accepts it, and collects arrivals until the
+// link drains. It returns the delivered flits in arrival order.
+func driveLink(t *testing.T, l *router.Link, flits []msg.Flit, maxCycles int64) []msg.Flit {
+	t.Helper()
+	var out []msg.Flit
+	next := 0
+	for now := int64(0); now < maxCycles; now++ {
+		if f, ok := l.ShiftFlits(now); ok {
+			out = append(out, f)
+		}
+		if next < len(flits) && l.CanSendFlit() {
+			l.SendFlit(flits[next])
+			next++
+		}
+		if next == len(flits) && !l.FlitsBusy() {
+			return out
+		}
+	}
+	t.Fatalf("link did not drain in %d cycles (%d/%d sent, %d delivered)",
+		maxCycles, next, len(flits), len(out))
+	return nil
+}
+
+// makeFlits builds n single-flit packets' worth of flits with distinct ids.
+func makeFlits(n int) []msg.Flit {
+	fs := make([]msg.Flit, 0, n)
+	for i := 0; i < n; i++ {
+		p := &msg.Packet{ID: uint64(i + 1), Size: 1}
+		fs = append(fs, msg.Flit{Pkt: p, Type: msg.HeadTail, Seq: 0, VC: i % 4})
+	}
+	return fs
+}
+
+// TestLinkDeliveryUnderFaults is the core go-back-N property: every flit is
+// delivered exactly once and in order despite drops and corruptions.
+func TestLinkDeliveryUnderFaults(t *testing.T) {
+	in := mkInjector(t, faults.Config{
+		Seed: 42,
+		Link: faults.LinkProfile{DropProb: 0.15, CorruptProb: 0.1},
+	}, 0)
+	ls := in.RegisterLink("r0>r1", nil, false)
+	l := router.NewLink(2)
+	l.SetFaults(ls)
+
+	flits := makeFlits(400)
+	got := driveLink(t, l, flits, 100000)
+
+	if len(got) != len(flits) {
+		t.Fatalf("delivered %d flits, want %d", len(got), len(flits))
+	}
+	for i, f := range got {
+		if f.Pkt.ID != flits[i].Pkt.ID || f.Seq != flits[i].Seq {
+			t.Fatalf("arrival %d out of order: got pkt %d seq %d, want pkt %d seq %d",
+				i, f.Pkt.ID, f.Seq, flits[i].Pkt.ID, flits[i].Seq)
+		}
+	}
+	c := ls.Counters()
+	if c.DroppedFlits == 0 || c.CorruptedFlits == 0 {
+		t.Errorf("expected both fault kinds at these rates: %+v", c)
+	}
+	// Every failed flit re-enters the wire, and so does every flit held
+	// behind it, so retransmits at least cover the failures.
+	if c.Retransmits < c.DroppedFlits+c.CorruptedFlits {
+		t.Errorf("retransmits %d < faults %d", c.Retransmits, c.DroppedFlits+c.CorruptedFlits)
+	}
+	if c.LostFlits != 0 {
+		t.Errorf("lost %d flits with a default retry budget", c.LostFlits)
+	}
+	if ls.Pending() || ls.PendingFlits() != 0 {
+		t.Error("retransmission queue not empty after drain")
+	}
+}
+
+// TestMultiFlitOrderUnderFaults soaks multi-flit packets over longer wires
+// across many seeds and send spacings, asserting strict per-wire delivery
+// order. Spaced sends (one flit every few cycles, as a router's SA grants
+// them) lock down the overtake case: a failed flit's resend re-enters the
+// wire behind a fresh flit already in flight, and that fresh flit must be
+// held even though the retransmission queue just drained.
+func TestMultiFlitOrderUnderFaults(t *testing.T) {
+	for _, latency := range []int{1, 2, 3} {
+		for _, spacing := range []int64{1, 2, 3, 4} {
+			for seed := uint64(1); seed <= 10; seed++ {
+				in := mkInjector(t, faults.Config{
+					Seed: seed,
+					Link: faults.LinkProfile{DropProb: 0.08, CorruptProb: 0.08},
+				}, 0)
+				ls := in.RegisterLink("r0>r1", nil, false)
+				l := router.NewLink(latency)
+				l.SetFaults(ls)
+
+				var flits []msg.Flit
+				for i := 0; i < 60; i++ {
+					p := &msg.Packet{ID: uint64(i + 1), Size: 4}
+					flits = append(flits, msg.Flits(p)...)
+				}
+				var got []msg.Flit
+				next := 0
+				for now := int64(0); now < 200000; now++ {
+					if f, ok := l.ShiftFlits(now); ok {
+						got = append(got, f)
+					}
+					if next < len(flits) && now%spacing == 0 && l.CanSendFlit() {
+						l.SendFlit(flits[next])
+						next++
+					}
+					if next == len(flits) && !l.FlitsBusy() {
+						break
+					}
+				}
+				if len(got) != len(flits) {
+					t.Fatalf("latency %d spacing %d seed %d: delivered %d flits, want %d",
+						latency, spacing, seed, len(got), len(flits))
+				}
+				for i, f := range got {
+					if f.Pkt.ID != flits[i].Pkt.ID || f.Seq != flits[i].Seq {
+						t.Fatalf("latency %d spacing %d seed %d: arrival %d out of order: got pkt %d seq %d, want pkt %d seq %d",
+							latency, spacing, seed, i, f.Pkt.ID, f.Seq, flits[i].Pkt.ID, flits[i].Seq)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLinkDeterminism: the same seed reproduces the same arrival schedule;
+// a different seed produces a different one.
+func TestLinkDeterminism(t *testing.T) {
+	trace := func(seed uint64) []int64 {
+		in := mkInjector(t, faults.Config{
+			Seed: seed,
+			Link: faults.LinkProfile{DropProb: 0.2, CorruptProb: 0.1},
+		}, 0)
+		ls := in.RegisterLink("r0>r1", nil, false)
+		l := router.NewLink(1)
+		l.SetFaults(ls)
+		flits := makeFlits(100)
+		var times []int64
+		next := 0
+		for now := int64(0); now < 100000; now++ {
+			if _, ok := l.ShiftFlits(now); ok {
+				times = append(times, now)
+			}
+			if next < len(flits) && l.CanSendFlit() {
+				l.SendFlit(flits[next])
+				next++
+			}
+			if next == len(flits) && !l.FlitsBusy() {
+				break
+			}
+		}
+		return times
+	}
+	a, b := trace(7), trace(7)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different arrival counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, arrival %d at cycle %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := trace(8)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical arrival schedules")
+	}
+}
+
+// TestRetryExhaustion: with a certain-failure link and a tiny retry budget
+// the flit is permanently lost, its credit is pinned, and the queue empties.
+func TestRetryExhaustion(t *testing.T) {
+	in := mkInjector(t, faults.Config{
+		Seed:        1,
+		Link:        faults.LinkProfile{DropProb: 1},
+		MaxRetries:  2,
+		DropTimeout: 1,
+	}, 0)
+	ls := in.RegisterLink("r0>r1", nil, false)
+	l := router.NewLink(1)
+	l.SetFaults(ls)
+
+	p := &msg.Packet{ID: 99, Size: 1}
+	l.SendFlit(msg.Flit{Pkt: p, Type: msg.HeadTail, VC: 2})
+	for now := int64(0); now < 100 && l.FlitsBusy(); now++ {
+		if _, ok := l.ShiftFlits(now); ok {
+			t.Fatalf("certain-drop link delivered a flit at cycle %d", now)
+		}
+	}
+	c := ls.Counters()
+	if c.LostFlits != 1 {
+		t.Fatalf("LostFlits = %d, want 1 (counters %+v)", c.LostFlits, c)
+	}
+	// Attempts 0..MaxRetries all roll a drop before the flit is abandoned.
+	if want := int64(3); c.DroppedFlits != want {
+		t.Errorf("DroppedFlits = %d, want %d", c.DroppedFlits, want)
+	}
+	if ls.LostFor(2) != 1 {
+		t.Errorf("LostFor(2) = %d, want 1", ls.LostFor(2))
+	}
+	if ls.Pending() {
+		t.Error("retransmission queue still pending after exhaustion")
+	}
+	if in.LostFlits() != 1 {
+		t.Errorf("Injector.LostFlits = %d, want 1", in.LostFlits())
+	}
+}
+
+// TestCreditLeakAndReconcile: a certain-leak link loses every credit; the
+// restore callback gets them all back at reconciliation.
+func TestCreditLeakAndReconcile(t *testing.T) {
+	restored := map[int]int{}
+	in := mkInjector(t, faults.Config{
+		Seed:           3,
+		Link:           faults.LinkProfile{CreditLeakProb: 1},
+		ReconcileEvery: 8,
+	}, 0)
+	ls := in.RegisterLink("r0>r1", func(vc int) { restored[vc]++ }, false)
+	l := router.NewLink(1)
+	l.SetFaults(ls)
+
+	sent := map[int]int{}
+	for now := int64(0); now < 6; now++ {
+		if _, ok := l.ShiftCredits(now); ok {
+			t.Fatalf("certain-leak link delivered a credit at cycle %d", now)
+		}
+		vc := int(now) % 3
+		l.SendCredit(vc)
+		sent[vc]++
+	}
+	l.ShiftCredits(6) // drain the last push
+	c := ls.Counters()
+	if c.CreditLeaks != 6 {
+		t.Fatalf("CreditLeaks = %d, want 6", c.CreditLeaks)
+	}
+	for vc, n := range sent {
+		if ls.LeakedFor(vc) != n {
+			t.Errorf("LeakedFor(%d) = %d, want %d", vc, ls.LeakedFor(vc), n)
+		}
+	}
+
+	if !in.ReconcileDue(7) { // (7+1) % 8 == 0
+		t.Error("ReconcileDue(7) = false with period 8")
+	}
+	if in.ReconcileDue(8) {
+		t.Error("ReconcileDue(8) = true with period 8")
+	}
+	if n := in.ReconcileAll(); n != 6 {
+		t.Fatalf("ReconcileAll restored %d credits, want 6", n)
+	}
+	for vc, n := range sent {
+		if restored[vc] != n {
+			t.Errorf("restored[%d] = %d, want %d", vc, restored[vc], n)
+		}
+		if ls.LeakedFor(vc) != 0 {
+			t.Errorf("LeakedFor(%d) = %d after reconcile", vc, ls.LeakedFor(vc))
+		}
+	}
+	if ls.Counters().ReconciledCredits != 6 {
+		t.Errorf("ReconciledCredits = %d, want 6", ls.Counters().ReconciledCredits)
+	}
+	if in.ReconcileAll() != 0 {
+		t.Error("second ReconcileAll restored credits again")
+	}
+}
+
+// TestEjectionLinkCreditsImmune: noCredits links never leak (their credit
+// wire is unused by construction, so the filter must pass everything).
+func TestEjectionLinkCreditsImmune(t *testing.T) {
+	in := mkInjector(t, faults.Config{Seed: 3, Link: faults.LinkProfile{CreditLeakProb: 1}}, 0)
+	ls := in.RegisterLink("r0>ni0", nil, true)
+	for now := int64(0); now < 50; now++ {
+		if !ls.CreditArrive(0, now) {
+			t.Fatal("noCredits link leaked a credit")
+		}
+	}
+}
+
+// TestStallWindows: stall decisions are deterministic per (node, cycle),
+// windows last StallLen cycles, and per-router profiles override the default.
+func TestStallWindows(t *testing.T) {
+	cfg := faults.Config{
+		Seed:      11,
+		PerRouter: map[int]faults.RouterProfile{0: {StallProb: 1, StallLen: 4}},
+	}
+	in := mkInjector(t, cfg, 2)
+	// Router 0 stalls every cycle it is asked; router 1 has no profile.
+	for now := int64(0); now < 12; now++ {
+		if !in.RouterStalled(0, now) {
+			t.Fatalf("router 0 not stalled at cycle %d with StallProb 1", now)
+		}
+		if in.RouterStalled(1, now) {
+			t.Fatalf("router 1 stalled at cycle %d with no profile", now)
+		}
+	}
+
+	// Moderate probability: the pattern reproduces exactly across injectors.
+	pattern := func() []bool {
+		in := mkInjector(t, faults.Config{Seed: 5, Router: faults.RouterProfile{StallProb: 0.05, StallLen: 3}}, 1)
+		var out []bool
+		for now := int64(0); now < 2000; now++ {
+			out = append(out, in.RouterStalled(0, now))
+		}
+		return out
+	}
+	a, b := pattern(), pattern()
+	stalls := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stall pattern diverged at cycle %d", i)
+		}
+		if a[i] {
+			stalls++
+		}
+	}
+	if stalls == 0 {
+		t.Error("no stalls in 2000 cycles at StallProb 0.05")
+	}
+}
+
+// TestReport: aggregation covers only links with events, sorted by key, and
+// counts stalled routers.
+func TestReport(t *testing.T) {
+	in := mkInjector(t, faults.Config{
+		Seed:       1,
+		Link:       faults.LinkProfile{DropProb: 1},
+		MaxRetries: 1, DropTimeout: 1,
+		PerRouter: map[int]faults.RouterProfile{1: {StallProb: 1, StallLen: 2}},
+	}, 3)
+	quiet := in.RegisterLink("r0>r1", nil, false)
+	noisy := in.RegisterLink("r2>r1", nil, false)
+	_ = quiet
+
+	p := &msg.Packet{ID: 7, Size: 1}
+	noisy.Arrive(msg.Flit{Pkt: p, Type: msg.HeadTail}, 0)
+	in.RouterStalled(1, 0)
+	in.RouterStalled(1, 1)
+
+	r := in.Report()
+	if len(r.Links) != 1 || r.Links[0].Key != "r2>r1" {
+		t.Fatalf("report links = %+v, want only r2>r1", r.Links)
+	}
+	if r.Totals.DroppedFlits != 1 {
+		t.Errorf("Totals.DroppedFlits = %d, want 1", r.Totals.DroppedFlits)
+	}
+	if r.StallCycles != 2 || r.StalledRouters != 1 {
+		t.Errorf("stalls = %d cycles on %d routers, want 2 on 1", r.StallCycles, r.StalledRouters)
+	}
+	if s := r.String(); !strings.Contains(s, "1 dropped") || !strings.Contains(s, "2 stall cycles") {
+		t.Errorf("Report.String() = %q", s)
+	}
+}
+
+// TestPendingForVC tracks queued retransmissions per downstream VC.
+func TestPendingForVC(t *testing.T) {
+	in := mkInjector(t, faults.Config{
+		Seed: 1, Link: faults.LinkProfile{DropProb: 1},
+		MaxRetries: 100, DropTimeout: 50,
+	}, 0)
+	ls := in.RegisterLink("r0>r1", nil, false)
+	p := &msg.Packet{ID: 1, Size: 2}
+	ls.Arrive(msg.Flit{Pkt: p, Type: msg.Head, Seq: 0, VC: 1}, 0)
+	ls.Arrive(msg.Flit{Pkt: p, Type: msg.Tail, Seq: 1, VC: 1}, 1)
+	if got := ls.PendingForVC(1); got != 2 {
+		t.Errorf("PendingForVC(1) = %d, want 2", got)
+	}
+	if got := ls.PendingForVC(0); got != 0 {
+		t.Errorf("PendingForVC(0) = %d, want 0", got)
+	}
+	if got := ls.PendingFlits(); got != 2 {
+		t.Errorf("PendingFlits = %d, want 2", got)
+	}
+}

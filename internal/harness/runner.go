@@ -8,6 +8,8 @@ import (
 	"runtime"
 	"sync"
 
+	"rair/internal/faults"
+	"rair/internal/invariant"
 	"rair/internal/msg"
 	"rair/internal/network"
 	"rair/internal/region"
@@ -50,6 +52,12 @@ type RunConfig struct {
 	// Telemetry, if non-nil, instruments the network's routers and NIs;
 	// see network.Params.Telemetry.
 	Telemetry *telemetry.Collector
+	// Faults, if non-nil and enabled, injects deterministic link/router
+	// faults; see network.Params.Faults.
+	Faults *faults.Config
+	// Check, if non-nil, runs the runtime invariant checker at every tick
+	// barrier; see network.Params.Check.
+	Check *invariant.Config
 }
 
 // Run executes one simulation point and returns its statistics collector.
@@ -65,6 +73,8 @@ func Run(rc RunConfig) *stats.Collector {
 		OnEject:   col.OnEject,
 		Workers:   rc.Workers,
 		Telemetry: rc.Telemetry,
+		Faults:    rc.Faults,
+		Check:     rc.Check,
 	})
 	defer net.Close()
 	gen := traffic.NewGenerator(rc.Apps, rc.Seed, func(node int, p *msg.Packet, now int64) {

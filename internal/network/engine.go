@@ -20,6 +20,7 @@ package network
 import (
 	"sync"
 
+	"rair/internal/faults"
 	"rair/internal/msg"
 	"rair/internal/router"
 	"rair/internal/topology"
@@ -94,6 +95,12 @@ type engine struct {
 	routers []*router.Router
 	shards  []*shard
 	now     int64
+
+	// faults, when non-nil, stalls routers in the compute phase. Stall
+	// decisions are pure hashes of (node, cycle), and the per-node stall
+	// state is only touched by the node's owning shard, so fault injection
+	// preserves the engine's bit-exactness across worker counts.
+	faults *faults.Injector
 
 	// cmd[i] feeds shard i+1's worker; shard 0 runs on the coordinator.
 	cmd  []chan enginePhase
@@ -179,22 +186,22 @@ func (e *engine) exec(sh *shard, ph enginePhase) {
 	case phaseLinks:
 		now := e.now
 		for _, b := range sh.rFlit {
-			if f, ok := b.link.ShiftFlits(); ok {
+			if f, ok := b.link.ShiftFlits(now); ok {
 				b.r.DeliverFlit(b.dir, f)
 			}
 		}
 		for _, b := range sh.nFlit {
-			if f, ok := b.link.ShiftFlits(); ok {
+			if f, ok := b.link.ShiftFlits(now); ok {
 				b.ni.DeliverFlit(f, now)
 			}
 		}
 		for _, b := range sh.rCred {
-			if vc, ok := b.link.ShiftCredits(); ok {
+			if vc, ok := b.link.ShiftCredits(now); ok {
 				b.r.DeliverCredit(b.dir, vc)
 			}
 		}
 		for _, b := range sh.nCred {
-			if vc, ok := b.link.ShiftCredits(); ok {
+			if vc, ok := b.link.ShiftCredits(now); ok {
 				b.ni.DeliverCredit(vc)
 			}
 		}
@@ -203,7 +210,12 @@ func (e *engine) exec(sh *shard, ph enginePhase) {
 		sh.active = sh.active[:0]
 		for _, r := range sh.routers {
 			if r.Active() {
-				r.Tick(now)
+				// A stalled router's pipeline freezes for the cycle; it
+				// stays in the active set so drain detection still sees
+				// its buffered state.
+				if e.faults == nil || !e.faults.RouterStalled(r.Node(), now) {
+					r.Tick(now)
+				}
 				sh.active = append(sh.active, r)
 			}
 		}

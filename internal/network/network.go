@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"runtime"
 
+	"rair/internal/faults"
+	"rair/internal/invariant"
 	"rair/internal/msg"
 	"rair/internal/policy"
 	"rair/internal/region"
@@ -72,6 +74,15 @@ type Params struct {
 	// simulation results are bit-identical with telemetry on or off, at
 	// any worker count.
 	Telemetry *telemetry.Collector
+	// Faults, if non-nil and enabled, attaches the deterministic fault
+	// injector: per-link drop/corrupt/credit-leak state and per-router
+	// stall windows, all keyed by pure hashes so results stay bit-identical
+	// across worker counts. See internal/faults.
+	Faults *faults.Config
+	// Check, if non-nil, runs the runtime invariant checker at every tick
+	// barrier on the coordinating goroutine (read-only audits; enabling it
+	// cannot change simulation results). See internal/invariant.
+	Check *invariant.Config
 }
 
 // Network is a fully wired mesh NoC.
@@ -85,6 +96,9 @@ type Network struct {
 	cong    bool
 	tel     *telemetry.Collector
 	probes  []*telemetry.Probe // per node, nil when telemetry is off
+	faults  *faults.Injector   // nil when fault-free
+	check   *invariant.Checker // nil when unchecked
+	refs    []invariant.LinkRef
 	now     int64
 }
 
@@ -125,7 +139,20 @@ func New(p Params) *Network {
 			n.routers[id].SetTelemetry(n.probes[id])
 		}
 	}
+	if p.Faults != nil && p.Faults.Enabled() {
+		inj, err := faults.NewInjector(*p.Faults, mesh.N())
+		if err != nil {
+			panic(err)
+		}
+		n.faults = inj
+		if n.tel != nil {
+			for id := range n.probes {
+				inj.SetStallProbe(id, n.probes[id])
+			}
+		}
+	}
 	n.eng = newEngine(mesh, n.routers, n.nis, p.Workers)
+	n.eng.faults = n.faults
 	// Inter-router links (one per direction per adjacent pair).
 	for id := 0; id < mesh.N(); id++ {
 		for _, d := range []topology.Dir{topology.East, topology.South} {
@@ -156,6 +183,24 @@ func New(p Params) *Network {
 			ni.SetTelemetry(n.probes[id])
 		}
 		n.nis[id] = ni
+		if n.faults != nil {
+			// Injection link: the router side receives flits, the NI side
+			// receives (and may leak) credits; reconciled credits return to
+			// the NI's counter.
+			ils := n.faults.RegisterLink(faults.NIKey(id, true), ni.DeliverCredit, false)
+			inj.SetFaults(ils)
+			// Ejection link: no credit wire in use; restore never fires.
+			els := n.faults.RegisterLink(faults.NIKey(id, false), nil, true)
+			ej.SetFaults(els)
+			if n.tel != nil {
+				n.faults.SetLinkProbes(ils, n.probes[id], n.probes[id])
+				n.faults.SetLinkProbes(els, n.probes[id], n.probes[id])
+			}
+		}
+		n.refs = append(n.refs,
+			invariant.LinkRef{L: inj, Src: id, SrcNI: true, Dst: id, DstDir: topology.Local},
+			invariant.LinkRef{L: ej, Src: id, SrcDir: topology.Local, Dst: id, DstNI: true},
+		)
 		r.ConnectIn(topology.Local, inj)
 		r.ConnectOut(topology.Local, ej)
 		sh := n.eng.shardOf(id)
@@ -166,6 +211,13 @@ func New(p Params) *Network {
 		// returns credits, but the wire is kept for symmetry.
 		sh.nFlit = append(sh.nFlit, niFlitBinding{link: ej, ni: ni})
 		sh.rCred = append(sh.rCred, routerCreditBinding{link: ej, r: r, dir: topology.Local})
+	}
+	if p.Check != nil {
+		n.check = invariant.NewChecker(*p.Check, invariant.Target{
+			Depth: p.Router.Depth, VCs: p.Router.VCsPerPort(), Mesh: mesh,
+			Routers: n.routers, NIs: n.nis, Links: n.refs,
+			Faults: n.faults, Telemetry: n.tel,
+		})
 	}
 	if p.Workers > 1 {
 		runtime.SetFinalizer(n, (*Network).Close)
@@ -186,6 +238,17 @@ func (n *Network) wire(src int, dir topology.Dir, dst int) {
 	dsh.rFlit = append(dsh.rFlit, routerFlitBinding{link: l, r: dr, dir: dir.Opposite()})
 	ssh := n.eng.shardOf(src)
 	ssh.rCred = append(ssh.rCred, routerCreditBinding{link: l, r: sr, dir: dir})
+	if n.faults != nil {
+		ls := n.faults.RegisterLink(faults.LinkKey(src, dst),
+			func(vc int) { sr.DeliverCredit(dir, vc) }, false)
+		l.SetFaults(ls)
+		if n.tel != nil {
+			n.faults.SetLinkProbes(ls, n.probes[dst], n.probes[src])
+		}
+	}
+	n.refs = append(n.refs, invariant.LinkRef{
+		L: l, Src: src, SrcDir: dir, Dst: dst, DstDir: dir.Opposite(),
+	})
 }
 
 // Close stops the tick engine's worker goroutines. Safe to call multiple
@@ -213,6 +276,12 @@ func (n *Network) NI(node int) *router.NI { return n.nis[node] }
 // Router returns node's router.
 func (n *Network) Router(node int) *router.Router { return n.routers[node] }
 
+// Faults returns the run's fault injector (nil when fault-free).
+func (n *Network) Faults() *faults.Injector { return n.faults }
+
+// Checker returns the run's invariant checker (nil when unchecked).
+func (n *Network) Checker() *invariant.Checker { return n.check }
+
 // Now reports the cycle of the last Tick.
 func (n *Network) Now() int64 { return n.now }
 
@@ -230,6 +299,12 @@ func (n *Network) Tick(now int64) {
 		n.eng.run(phaseCongFill)
 		n.eng.run(phaseCongSwap)
 	}
+	// Periodic credit reconciliation runs on this goroutine after all
+	// barriers: leaked credits are audited and restored directly to their
+	// sender-side counters, deterministically in link-registration order.
+	if n.faults != nil && n.faults.ReconcileDue(now) {
+		n.faults.ReconcileAll()
+	}
 	// Sample telemetry windows on this goroutine after all barriers: every
 	// probe is quiescent (its owning shard finished the compute phase), so
 	// the read is race-free and deterministic.
@@ -238,6 +313,11 @@ func (n *Network) Tick(now int64) {
 			nat, frn := r.OccupancyByKind()
 			n.probes[id].Sample(now, nat, frn)
 		}
+	}
+	// Audit the quiescent network. The checker is read-only, so running it
+	// (or not) cannot change simulation results.
+	if n.check != nil {
+		n.check.Check(now)
 	}
 	// Replay buffered ejections in node order on this goroutine.
 	if n.params.OnEject != nil {

@@ -1,0 +1,78 @@
+package router
+
+import (
+	"rair/internal/msg"
+	"rair/internal/topology"
+)
+
+// The audit surface exposes read-only snapshots of the router's pipeline
+// state for the runtime invariant checker (internal/invariant). Every
+// method here must be called only between tick barriers, from the
+// coordinating goroutine, and must not mutate any state — the checker's
+// presence may not perturb the simulation.
+
+// InputVCState is a read-only snapshot of one input VC.
+type InputVCState struct {
+	VC int
+	// Owner is the packet atomically holding the VC (nil when idle);
+	// Allocated mirrors the stage machine (any stage past Idle).
+	Owner     *msg.Packet
+	Allocated bool
+	// Buffered is the VC's buffer occupancy in flits.
+	Buffered int
+}
+
+// OutputVCState is a read-only snapshot of one output VC.
+type OutputVCState struct {
+	VC       int
+	Owner    *msg.Packet
+	Credits  int
+	TailSent bool
+}
+
+// AuditInputVCs calls fn for every VC of input port d.
+func (r *Router) AuditInputVCs(d topology.Dir, fn func(InputVCState)) {
+	for _, vc := range r.in[d].vcs {
+		fn(InputVCState{
+			VC: vc.idx, Owner: vc.owner,
+			Allocated: vc.stage != stageIdle,
+			Buffered:  vc.buf.Len(),
+		})
+	}
+}
+
+// AuditInputFlits calls fn for every buffered flit of input port d's VC vc,
+// head first.
+func (r *Router) AuditInputFlits(d topology.Dir, vc int, fn func(msg.Flit)) {
+	buf := r.in[d].vcs[vc].buf
+	for i := 0; i < buf.Len(); i++ {
+		fn(buf.At(i))
+	}
+}
+
+// AuditOutputVCs calls fn for every VC of output port d.
+func (r *Router) AuditOutputVCs(d topology.Dir, fn func(OutputVCState)) {
+	for _, v := range r.out[d].vcs {
+		fn(OutputVCState{VC: v.idx, Owner: v.owner, Credits: v.credits, TailSent: v.tailSent})
+	}
+}
+
+// OutputAllocated reports output port d's allocated-VC bookkeeping counter
+// (must equal the owned VCs visible via AuditOutputVCs).
+func (r *Router) OutputAllocated(d topology.Dir) int { return r.out[d].allocated }
+
+// STRegister returns the flit parked in output port d's switch-traversal
+// register, if occupied. An ST flit has already consumed a downstream
+// credit but is not yet on the wire, so credit accounting must count it.
+func (r *Router) STRegister(d topology.Dir) (msg.Flit, bool) {
+	return r.out[d].st, r.out[d].stValid
+}
+
+// STPending reports how many ST registers are occupied across the router.
+func (r *Router) STPending() int { return r.stPending }
+
+// InLink returns input port d's upstream link (nil on mesh-edge ports).
+func (r *Router) InLink(d topology.Dir) *Link { return r.in[d].link }
+
+// OutLink returns output port d's downstream link (nil on mesh-edge ports).
+func (r *Router) OutLink(d topology.Dir) *Link { return r.out[d].link }

@@ -7,6 +7,18 @@ import (
 	"rair/internal/topology"
 )
 
+// DebugDropCredit steals one downstream credit from output port d's VC vc,
+// as if the credit had been lost without the fault injector's bookkeeping.
+// It exists only so tests can seed a genuine accounting bug and assert the
+// invariant checker reports it; nothing in the simulator calls it.
+func (r *Router) DebugDropCredit(d topology.Dir, vc int) {
+	v := r.out[d].vcs[vc]
+	if v.credits == 0 {
+		panic("router: DebugDropCredit on empty credit counter")
+	}
+	v.credits--
+}
+
 // DebugState renders the router's pipeline state for diagnostics (watchdog
 // reports, deadlock triage).
 func (r *Router) DebugState() string {

@@ -1,6 +1,7 @@
 package router
 
 import (
+	"rair/internal/faults"
 	"rair/internal/msg"
 	"rair/internal/sim"
 )
@@ -13,9 +14,17 @@ import (
 // routers): they are shifted exactly once per cycle by the network before
 // any component ticks, which makes the whole simulation independent of
 // component iteration order.
+//
+// A link may carry fault-injection state (SetFaults): arriving flits are
+// then filtered through the injector's drop/corrupt verdicts, failed flits
+// re-enter the wire from the retransmission queue, and arriving credits may
+// leak. The fault path lives entirely inside ShiftFlits/ShiftCredits so the
+// router and NI on either end never see a faulty event — only delayed
+// delivery.
 type Link struct {
 	flits   *sim.DelayLine[msg.Flit]
 	credits *sim.DelayLine[int]
+	faults  *faults.LinkState
 }
 
 // NewLink returns a link with the given downstream flit latency.
@@ -26,7 +35,16 @@ func NewLink(latency int) *Link {
 	}
 }
 
-// Shift advances both directions one cycle, returning any arrivals.
+// SetFaults attaches fault-injection state; nil detaches it.
+func (l *Link) SetFaults(fs *faults.LinkState) { l.faults = fs }
+
+// Faults returns the link's fault state (nil when fault-free).
+func (l *Link) Faults() *faults.LinkState { return l.faults }
+
+// Shift advances both directions one cycle, returning any arrivals. It is
+// the single-threaded convenience used by router-level tests and bypasses
+// fault injection; the network's tick engine always uses the split
+// ShiftFlits/ShiftCredits.
 func (l *Link) Shift() (f msg.Flit, fOK bool, credit int, cOK bool) {
 	f, fOK = l.flits.Shift()
 	credit, cOK = l.credits.Shift()
@@ -38,24 +56,54 @@ func (l *Link) Shift() (f msg.Flit, fOK bool, credit int, cOK bool) {
 // to the receiver's shard, the credit wire to the sender's), so each wire
 // must advance independently. An idle wire is skipped entirely: a DelayLine
 // with nothing in flight cannot have a pending push either, so not shifting
-// it is exactly equivalent to shifting it.
-func (l *Link) ShiftFlits() (f msg.Flit, ok bool) {
-	if !l.flits.Busy() {
+// it is exactly equivalent to shifting it — unless retransmissions are
+// queued, which must re-enter an otherwise idle wire.
+//
+// With fault state attached, an arriving flit may be dropped or corrupted
+// (ok=false; it re-enters later from the retransmission queue), and one
+// eligible queued flit is pushed back onto the just-vacated entry register.
+// The sender's same-cycle CanSendFlit then reads false, which is exactly
+// the backpressure a busy retransmitting wire should exert.
+func (l *Link) ShiftFlits(now int64) (f msg.Flit, ok bool) {
+	fi := l.faults
+	if fi == nil {
+		if !l.flits.Busy() {
+			return f, false
+		}
+		return l.flits.Shift()
+	}
+	if !l.flits.Busy() && !fi.Pending() {
 		return f, false
 	}
-	return l.flits.Shift()
+	f, ok = l.flits.Shift()
+	if ok && !fi.Arrive(f, now) {
+		f, ok = msg.Flit{}, false
+	}
+	if rf, rok := fi.Retransmit(now); rok {
+		l.flits.Push(rf)
+	}
+	return f, ok
 }
 
 // ShiftCredits advances only the upstream credit wire (see ShiftFlits).
-func (l *Link) ShiftCredits() (vc int, ok bool) {
+// With fault state attached an arriving credit may leak (ok=false); leaked
+// credits are restored only by reconciliation.
+func (l *Link) ShiftCredits(now int64) (vc int, ok bool) {
 	if !l.credits.Busy() {
 		return 0, false
 	}
-	return l.credits.Shift()
+	vc, ok = l.credits.Shift()
+	if ok && l.faults != nil && !l.faults.CreditArrive(vc, now) {
+		return 0, false
+	}
+	return vc, ok
 }
 
-// FlitsBusy reports whether any flit is in flight downstream.
-func (l *Link) FlitsBusy() bool { return l.flits.Busy() }
+// FlitsBusy reports whether any flit is in flight downstream, including
+// flits waiting in the retransmission queue.
+func (l *Link) FlitsBusy() bool {
+	return l.flits.Busy() || (l.faults != nil && l.faults.Pending())
+}
 
 // CreditsBusy reports whether any credit is in flight upstream.
 func (l *Link) CreditsBusy() bool { return l.credits.Busy() }
@@ -76,5 +124,23 @@ func (l *Link) SendCredit(vc int) { l.credits.Push(vc) }
 // cycle (SA_in grants at most one).
 func (l *Link) CanSendCredit() bool { return l.credits.CanPush() }
 
-// Busy reports whether anything is in flight in either direction.
-func (l *Link) Busy() bool { return l.flits.Busy() || l.credits.Busy() }
+// Busy reports whether anything is in flight in either direction, including
+// queued retransmissions.
+func (l *Link) Busy() bool {
+	return l.flits.Busy() || l.credits.Busy() || (l.faults != nil && l.faults.Pending())
+}
+
+// InFlightFlits reports flits on the downstream wire (excluding the
+// retransmission queue; see Faults().PendingFlits for those).
+func (l *Link) InFlightFlits() int { return l.flits.Len() }
+
+// InFlightCredits reports credits on the upstream wire.
+func (l *Link) InFlightCredits() int { return l.credits.Len() }
+
+// AuditFlits calls fn for every in-flight downstream flit, oldest first
+// (read-only invariant-checker hook; barrier-only).
+func (l *Link) AuditFlits(fn func(msg.Flit)) { l.flits.Each(fn) }
+
+// AuditCredits calls fn for every in-flight upstream credit's VC index
+// (read-only invariant-checker hook; barrier-only).
+func (l *Link) AuditCredits(fn func(int)) { l.credits.Each(fn) }

@@ -51,6 +51,7 @@ type NI struct {
 	tel *telemetry.Probe
 
 	created, injected, ejected int64
+	flitsOut, flitsIn          int64
 }
 
 type stream struct {
@@ -145,11 +146,24 @@ func (ni *NI) Created() int64 { return ni.created }
 // Ejected reports how many packets this NI has consumed.
 func (ni *NI) Ejected() int64 { return ni.ejected }
 
+// FlitsOut reports how many flits the NI has pushed onto its injection
+// link (the "injected" term of the flit-conservation invariant).
+func (ni *NI) FlitsOut() int64 { return ni.flitsOut }
+
+// FlitsIn reports how many flits the NI has consumed from its ejection
+// link (the "ejected" term of the flit-conservation invariant).
+func (ni *NI) FlitsIn() int64 { return ni.flitsIn }
+
+// CreditCount reports the NI's sender-side credit counter for local-input
+// VC vc (read-only invariant-checker hook).
+func (ni *NI) CreditCount(vc int) int { return ni.credits[vc] }
+
 // DeliverFlit consumes a flit arriving from the router's local output port.
 func (ni *NI) DeliverFlit(f msg.Flit, now int64) {
 	if f.Pkt.Dst != ni.node {
 		panic(fmt.Sprintf("router: %v ejected at node %d", f.Pkt, ni.node))
 	}
+	ni.flitsIn++
 	if f.Type.IsTail() {
 		f.Pkt.EjectedAt = now
 		ni.ejected++
@@ -257,6 +271,7 @@ func (ni *NI) sendOne(now int64) {
 			}
 		}
 		ni.inj.SendFlit(f)
+		ni.flitsOut++
 		ni.credits[vc]--
 		s.next++
 		if s.next == len(s.flits) {

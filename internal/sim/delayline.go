@@ -69,6 +69,20 @@ func (d *DelayLine[T]) Shift() (v T, ok bool) {
 	return v, false
 }
 
+// Len reports how many values are in flight.
+func (d *DelayLine[T]) Len() int { return d.count }
+
+// Each calls fn for every in-flight value, oldest (next to exit) first. It
+// is a read-only audit hook for invariant checking.
+func (d *DelayLine[T]) Each(fn func(T)) {
+	for i := 0; i < len(d.slots); i++ {
+		s := d.slots[(d.head+i)%len(d.slots)]
+		if s.valid {
+			fn(s.v)
+		}
+	}
+}
+
 // Drain empties the line, returning how many in-flight values were dropped.
 func (d *DelayLine[T]) Drain() int {
 	n := d.count

@@ -140,3 +140,12 @@ func (b *Bounded[T]) Peek() (v T, ok bool) {
 	}
 	return b.buf[b.head], true
 }
+
+// At returns the i-th element from the head (0 = head). It panics if i is
+// out of range.
+func (b *Bounded[T]) At(i int) T {
+	if i < 0 || i >= b.size {
+		panic("sim: Bounded.At out of range")
+	}
+	return b.buf[(b.head+i)%len(b.buf)]
+}

@@ -62,16 +62,20 @@ func (r *Report) WriteCSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, "node,app,vaGrantNative,vaGrantForeign,vaDenyNative,vaDenyForeign,"+
 		"saInGrantNative,saInGrantForeign,saInDenyNative,saInDenyForeign,"+
 		"saOutGrantNative,saOutGrantForeign,saOutDenyNative,saOutDenyForeign,"+
-		"dpaToNativeHigh,dpaToForeignHigh,creditStalls,injectStalls,linkFlits"); err != nil {
+		"dpaToNativeHigh,dpaToForeignHigh,creditStalls,injectStalls,linkFlits,"+
+		"faultDroppedFlits,faultCorruptedFlits,faultRetransmits,faultLostFlits,"+
+		"faultCreditLeaks,faultReconciledCredits,faultStallCycles"); err != nil {
 		return err
 	}
 	row := func(label string, app int, c *Counters) error {
-		_, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		_, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			label, app,
 			c.VAGrantNative, c.VAGrantForeign, c.VADenyNative, c.VADenyForeign,
 			c.SAInGrantNative, c.SAInGrantForeign, c.SAInDenyNative, c.SAInDenyForeign,
 			c.SAOutGrantNative, c.SAOutGrantForeign, c.SAOutDenyNative, c.SAOutDenyForeign,
-			c.DPAToNativeHigh, c.DPAToForeignHigh, c.CreditStalls, c.InjectStalls, c.LinkFlits)
+			c.DPAToNativeHigh, c.DPAToForeignHigh, c.CreditStalls, c.InjectStalls, c.LinkFlits,
+			c.FaultDroppedFlits, c.FaultCorruptedFlits, c.FaultRetransmits, c.FaultLostFlits,
+			c.FaultCreditLeaks, c.FaultReconciledCredits, c.FaultStallCycles)
 		return err
 	}
 	for i := range r.Routers {

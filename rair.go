@@ -35,7 +35,9 @@ package rair
 import (
 	"fmt"
 
+	"rair/internal/faults"
 	"rair/internal/harness"
+	"rair/internal/invariant"
 	"rair/internal/memsys"
 	"rair/internal/msg"
 	"rair/internal/network"
@@ -126,6 +128,48 @@ type Config struct {
 	// TelemetryTraceEvery samples every N-th packet for flit-lifecycle
 	// tracing (0 disables tracing; requires Telemetry).
 	TelemetryTraceEvery uint64
+
+	// Faults, if non-nil, enables deterministic fault injection: link flit
+	// drops and corruptions recovered by retransmission, credit leaks
+	// repaired by periodic reconciliation, and transient router stalls.
+	// All decisions are seeded hashes, so faulty runs are reproducible at
+	// any worker count.
+	Faults *FaultSpec
+	// CheckInvariants runs the runtime invariant checker at every tick
+	// barrier (flit conservation, per-link credit accounting, atomic VC
+	// allocation, hop progress, deadlock watchdog). Violations surface as
+	// an error from Run. Simulation results are bit-identical with the
+	// checker on or off.
+	CheckInvariants bool
+}
+
+// FaultSpec is the public fault-injection configuration; probabilities
+// apply uniformly to every link/router (per-link overrides are available on
+// the internal harness API).
+type FaultSpec struct {
+	// Seed drives all fault decisions; 0 reuses Config.Seed.
+	Seed uint64
+	// DropProb / CorruptProb are the per-traversal probabilities that a
+	// flit is silently lost (recovered by sender timeout) or arrives
+	// corrupted (detected by the receiver's CRC check and NACKed).
+	DropProb    float64
+	CorruptProb float64
+	// CreditLeakProb is the per-arrival probability that a returning
+	// credit is lost; leaked credits are restored every ReconcileEvery
+	// cycles.
+	CreditLeakProb float64
+	// StallProb is the per-cycle probability that a router's pipeline
+	// freezes for StallLen cycles.
+	StallProb float64
+	StallLen  int
+	// Recovery-protocol knobs; zero values take the faults package
+	// defaults (32 retries, 32-cycle drop timeout, 2-cycle NACK latency).
+	MaxRetries  int
+	DropTimeout int
+	NackLatency int
+	// ReconcileEvery is the credit-reconciliation period in cycles
+	// (0 disables reconciliation).
+	ReconcileEvery int64
 }
 
 // AppSpec describes one synthetic application's traffic.
@@ -417,6 +461,27 @@ type Report struct {
 	// was set (nil otherwise): use Telemetry.Report() for the aggregated
 	// counters and Telemetry.WriteChromeTrace for the lifecycle trace.
 	Telemetry *telemetry.Collector
+	// Faults summarizes fault-injection outcomes when Config.Faults was
+	// set (nil otherwise).
+	Faults *FaultReport
+}
+
+// FaultReport is the aggregated fault-injection outcome of a run.
+type FaultReport struct {
+	DroppedFlits      int64 `json:"droppedFlits"`
+	CorruptedFlits    int64 `json:"corruptedFlits"`
+	Retransmits       int64 `json:"retransmits"`
+	LostFlits         int64 `json:"lostFlits"`
+	CreditLeaks       int64 `json:"creditLeaks"`
+	ReconciledCredits int64 `json:"reconciledCredits"`
+	StallCycles       int64 `json:"stallCycles"`
+	StalledRouters    int   `json:"stalledRouters"`
+}
+
+func (fr *FaultReport) String() string {
+	return fmt.Sprintf("faults: %d dropped, %d corrupted, %d retransmits, %d lost; %d credit leaks, %d reconciled; %d stall cycles on %d routers",
+		fr.DroppedFlits, fr.CorruptedFlits, fr.Retransmits, fr.LostFlits,
+		fr.CreditLeaks, fr.ReconciledCredits, fr.StallCycles, fr.StalledRouters)
 }
 
 func (r *Report) String() string {
@@ -458,6 +523,33 @@ func (s *Simulation) Run(ph Phases) (*Report, error) {
 			TraceEvery: s.cfg.TelemetryTraceEvery,
 		})
 	}
+	var fcfg *faults.Config
+	if fs := s.cfg.Faults; fs != nil {
+		seed := fs.Seed
+		if seed == 0 {
+			seed = s.cfg.Seed
+		}
+		fcfg = &faults.Config{
+			Seed: seed,
+			Link: faults.LinkProfile{
+				DropProb:       fs.DropProb,
+				CorruptProb:    fs.CorruptProb,
+				CreditLeakProb: fs.CreditLeakProb,
+			},
+			Router:         faults.RouterProfile{StallProb: fs.StallProb, StallLen: fs.StallLen},
+			MaxRetries:     fs.MaxRetries,
+			DropTimeout:    fs.DropTimeout,
+			NackLatency:    fs.NackLatency,
+			ReconcileEvery: fs.ReconcileEvery,
+		}
+		if err := fcfg.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	var icfg *invariant.Config
+	if s.cfg.CheckInvariants {
+		icfg = &invariant.Config{Mode: invariant.ModeCollect}
+	}
 	net := network.New(network.Params{
 		Router:  s.rcfg,
 		Regions: s.regions,
@@ -474,6 +566,8 @@ func (s *Simulation) Run(ph Phases) (*Report, error) {
 		},
 		Workers:   s.cfg.Workers,
 		Telemetry: tel,
+		Faults:    fcfg,
+		Check:     icfg,
 	})
 	defer net.Close()
 	inject := func(node int, p *msg.Packet, now int64) { net.NI(node).Inject(p, now) }
@@ -530,8 +624,26 @@ func (s *Simulation) Run(ph Phases) (*Report, error) {
 		Heatmap:          net.UtilizationHeatmap(end),
 		Telemetry:        tel,
 	}
+	if inj := net.Faults(); inj != nil {
+		fr := inj.Report()
+		rep.Faults = &FaultReport{
+			DroppedFlits:      fr.Totals.DroppedFlits,
+			CorruptedFlits:    fr.Totals.CorruptedFlits,
+			Retransmits:       fr.Totals.Retransmits,
+			LostFlits:         fr.Totals.LostFlits,
+			CreditLeaks:       fr.Totals.CreditLeaks,
+			ReconciledCredits: fr.Totals.ReconciledCredits,
+			StallCycles:       fr.StallCycles,
+			StalledRouters:    fr.StalledRouters,
+		}
+	}
 	for _, app := range col.Apps() {
 		rep.PerApp[app] = col.App(app).Mean()
+	}
+	if chk := net.Checker(); chk != nil {
+		if err := chk.Err(); err != nil {
+			return rep, err
+		}
 	}
 	return rep, nil
 }
