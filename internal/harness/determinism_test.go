@@ -3,6 +3,7 @@ package harness
 import (
 	"testing"
 
+	"rair/internal/invariant"
 	"rair/internal/region"
 	"rair/internal/routing"
 	"rair/internal/traffic"
@@ -43,8 +44,13 @@ func TestShardedRunDeterminism(t *testing.T) {
 		for _, scheme := range schemes {
 			t.Run(sc.name+"/"+scheme.Name, func(t *testing.T) {
 				regs, apps := sc.mk()
+				// The panic-mode checker audits the datapath's bitmasks
+				// against a slow reference scan at every barrier, so a
+				// mask desync in any scheme/engine combination fails
+				// loudly rather than silently skewing results.
 				rc := RunConfig{Regions: regs, Router: synthCfg(), Apps: apps,
-					Scheme: scheme, Dur: testDur(), Seed: 7}
+					Scheme: scheme, Dur: testDur(), Seed: 7,
+					Check: &invariant.Config{Every: 64}}
 				serial := Run(rc)
 				rc.Workers = 4
 				sharded := Run(rc)

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"rair/internal/invariant"
 	"rair/internal/msg"
 	"rair/internal/network"
 	"rair/internal/sim"
@@ -40,6 +41,10 @@ func goldenRun() []string {
 		Alg:     rc.Scheme.Alg(mesh),
 		Sel:     rc.Scheme.Sel(rc.Regions, rc.Router),
 		Policy:  rc.Scheme.Policy,
+		// Panic-mode invariant checking: the golden run doubles as the
+		// mask-shadow cross-check, auditing every incrementally-maintained
+		// bitmask against a slow reference scan at the checking barriers.
+		Check: &invariant.Config{Every: 64},
 		OnEject: func(p *msg.Packet, now int64) {
 			col.OnEject(p, now)
 			lines = append(lines, fmt.Sprintf("pkt %d app %d %d>%d flits %d eject %d lat %d hops %d",

@@ -64,6 +64,9 @@ type RunConfig struct {
 func Run(rc RunConfig) *stats.Collector {
 	col := stats.NewCollector(rc.Dur.Warmup, rc.Dur.Warmup+rc.Dur.Measure)
 	mesh := rc.Regions.Mesh()
+	// The collector copies packet fields at ejection and nothing else
+	// observes packets, so every run can recycle them through a freelist.
+	pool := msg.NewPool()
 	net := network.New(network.Params{
 		Router:    rc.Router,
 		Regions:   rc.Regions,
@@ -71,6 +74,7 @@ func Run(rc RunConfig) *stats.Collector {
 		Sel:       rc.Scheme.Sel(rc.Regions, rc.Router),
 		Policy:    rc.Scheme.Policy,
 		OnEject:   col.OnEject,
+		Recycle:   pool.Put,
 		Workers:   rc.Workers,
 		Telemetry: rc.Telemetry,
 		Faults:    rc.Faults,
@@ -80,6 +84,7 @@ func Run(rc RunConfig) *stats.Collector {
 	gen := traffic.NewGenerator(rc.Apps, rc.Seed, func(node int, p *msg.Packet, now int64) {
 		net.NI(node).Inject(p, now)
 	})
+	gen.Pool = pool
 	end := rc.Dur.Warmup + rc.Dur.Measure
 	gen.Until = end
 

@@ -191,3 +191,24 @@ func TestViolationError(t *testing.T) {
 		t.Errorf("Error() = %q, want %q", got, want)
 	}
 }
+
+// TestCheckerCatchesMaskDesync: the mask-shadow audit must catch a datapath
+// whose incrementally-maintained bitmasks drift from the authoritative
+// per-VC state. The seeded desync flips one creditMask bit without touching
+// the credit counter — invisible to credit accounting, caught only by the
+// reference rescan.
+func TestCheckerCatchesMaskDesync(t *testing.T) {
+	n := build(t, &invariant.Config{Mode: invariant.ModeCollect}, nil)
+	defer n.Close()
+	n.Router(5).DebugCorruptMask(topology.East, 0)
+	n.Tick(0)
+	found := false
+	for _, v := range n.Checker().Violations() {
+		if v.Check == "mask-shadow" && strings.Contains(v.Msg, "creditMask") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("seeded mask desync not caught: %v", n.Checker().Err())
+	}
+}

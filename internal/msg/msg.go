@@ -129,6 +129,28 @@ type Flit struct {
 	VC   int
 }
 
+// FlitAt synthesizes the i-th flit of p (VC unassigned) without
+// materializing the whole sequence. Streaming senders (the NI) call it once
+// per cycle, so packets never allocate a flit slice on the hot path.
+func FlitAt(p *Packet, i int) Flit {
+	if p.Size < 1 {
+		panic("msg: packet with no flits")
+	}
+	if i < 0 || i >= p.Size {
+		panic("msg: flit index out of range")
+	}
+	t := Body
+	switch {
+	case p.Size == 1:
+		t = HeadTail
+	case i == 0:
+		t = Head
+	case i == p.Size-1:
+		t = Tail
+	}
+	return Flit{Pkt: p, Type: t, Seq: i}
+}
+
 // Flits serializes a packet into its flit sequence (VC unassigned).
 func Flits(p *Packet) []Flit {
 	if p.Size < 1 {
@@ -136,16 +158,7 @@ func Flits(p *Packet) []Flit {
 	}
 	fs := make([]Flit, p.Size)
 	for i := range fs {
-		t := Body
-		switch {
-		case p.Size == 1:
-			t = HeadTail
-		case i == 0:
-			t = Head
-		case i == p.Size-1:
-			t = Tail
-		}
-		fs[i] = Flit{Pkt: p, Type: t, Seq: i}
+		fs[i] = FlitAt(p, i)
 	}
 	return fs
 }

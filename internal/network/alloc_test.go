@@ -1,0 +1,71 @@
+package network
+
+import (
+	"testing"
+
+	"rair/internal/core"
+	"rair/internal/msg"
+	"rair/internal/region"
+	"rair/internal/router"
+	"rair/internal/routing"
+	"rair/internal/sim"
+	"rair/internal/topology"
+)
+
+// TestSteadyStateTickAllocs is the zero-allocation gate for the simulator's
+// hot loop: with telemetry off and a packet pool recycling ejected packets,
+// a loaded 8x8 RAIR mesh must tick without touching the heap. Every
+// transient the datapath needs (flit rings, arbiter scratch, ejection
+// replay buffers, source queues) is either pre-sized at construction or
+// reaches its high-water capacity during warmup, so a regression here means
+// a new allocation crept onto the per-cycle path.
+func TestSteadyStateTickAllocs(t *testing.T) {
+	regions := region.Quadrants(topology.NewMesh(8, 8))
+	pool := msg.NewPool()
+	// Seed the freelist with more packets than the mesh can hold in
+	// flight, so the measured window can never out-draw the warmup peak.
+	for i := 0; i < 512; i++ {
+		pool.Put(&msg.Packet{})
+	}
+	n := New(Params{
+		Router:  router.DefaultConfig(1),
+		Regions: regions,
+		Alg:     routing.MinimalAdaptive{Mesh: regions.Mesh()},
+		Sel:     routing.LocalSelector{},
+		Policy:  core.NewFactory(core.Config{}),
+		Recycle: pool.Put,
+	})
+	rng := sim.NewRNG(1)
+	nodes := n.Mesh().N()
+	var id uint64
+	var c int64
+	injectPooled := func() {
+		for node := 0; node < nodes; node++ {
+			if !rng.Bool(0.05) {
+				continue
+			}
+			dst := rng.Intn(nodes)
+			if dst == node {
+				continue
+			}
+			id++
+			p := pool.Get()
+			p.ID, p.App, p.Src, p.Dst = id, regions.AppAt(node), node, dst
+			p.Size = 1 + 4*rng.Intn(2)
+			p.Class = msg.ClassRequest
+			n.NI(node).Inject(p, c)
+		}
+	}
+	for ; c < 2000; c++ {
+		injectPooled()
+		n.Tick(c)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		injectPooled()
+		n.Tick(c)
+		c++
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state tick allocated %.1f objects/op, want 0", allocs)
+	}
+}

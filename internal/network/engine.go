@@ -184,23 +184,39 @@ func (e *engine) close() {
 func (e *engine) exec(sh *shard, ph enginePhase) {
 	switch ph {
 	case phaseLinks:
+		// Quiescent wires are skipped before the shift call: an idle
+		// DelayLine cannot deliver and has no pending push, so not shifting
+		// it is exactly equivalent to shifting it (FlitsBusy folds in queued
+		// retransmissions, which must re-enter an otherwise idle wire).
 		now := e.now
 		for _, b := range sh.rFlit {
+			if !b.link.FlitsBusy() {
+				continue
+			}
 			if f, ok := b.link.ShiftFlits(now); ok {
 				b.r.DeliverFlit(b.dir, f)
 			}
 		}
 		for _, b := range sh.nFlit {
+			if !b.link.FlitsBusy() {
+				continue
+			}
 			if f, ok := b.link.ShiftFlits(now); ok {
 				b.ni.DeliverFlit(f, now)
 			}
 		}
 		for _, b := range sh.rCred {
+			if !b.link.CreditsBusy() {
+				continue
+			}
 			if vc, ok := b.link.ShiftCredits(now); ok {
 				b.r.DeliverCredit(b.dir, vc)
 			}
 		}
 		for _, b := range sh.nCred {
+			if !b.link.CreditsBusy() {
+				continue
+			}
 			if vc, ok := b.link.ShiftCredits(now); ok {
 				b.ni.DeliverCredit(vc)
 			}

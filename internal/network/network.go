@@ -60,6 +60,12 @@ type Params struct {
 	// on the goroutine calling Tick, in ascending node order within a
 	// cycle, regardless of Workers.
 	OnEject func(*msg.Packet, int64)
+	// Recycle, if non-nil, receives every delivered packet after OnEject
+	// has observed it, under the same coordinator-goroutine node-order
+	// guarantee. It exists to return packets to a freelist (msg.Pool), so
+	// it must only be set when no observer retains packet pointers past
+	// the OnEject callback.
+	Recycle func(*msg.Packet)
 	// Workers is the number of tick-engine shards. Values <= 1 run
 	// serially on the calling goroutine; higher values partition the mesh
 	// across Workers-1 persistent worker goroutines plus the caller. Call
@@ -172,7 +178,7 @@ func New(p Params) *Network {
 		ej := router.NewLink(p.Router.LinkLatency)
 		n.links = append(n.links, inj, ej)
 		var onEject func(*msg.Packet, int64)
-		if p.OnEject != nil {
+		if p.OnEject != nil || p.Recycle != nil {
 			sh := n.eng.shardOf(id)
 			onEject = func(pkt *msg.Packet, now int64) {
 				sh.ejections = append(sh.ejections, ejection{pkt, now})
@@ -319,11 +325,17 @@ func (n *Network) Tick(now int64) {
 	if n.check != nil {
 		n.check.Check(now)
 	}
-	// Replay buffered ejections in node order on this goroutine.
-	if n.params.OnEject != nil {
+	// Replay buffered ejections in node order on this goroutine: observers
+	// first, then the recycler reclaims the packet.
+	if n.params.OnEject != nil || n.params.Recycle != nil {
 		for _, sh := range n.eng.shards {
 			for _, e := range sh.ejections {
-				n.params.OnEject(e.pkt, e.now)
+				if n.params.OnEject != nil {
+					n.params.OnEject(e.pkt, e.now)
+				}
+				if n.params.Recycle != nil {
+					n.params.Recycle(e.pkt)
+				}
 			}
 			sh.ejections = sh.ejections[:0]
 		}

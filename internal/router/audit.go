@@ -1,6 +1,9 @@
 package router
 
 import (
+	"fmt"
+	"math/bits"
+
 	"rair/internal/msg"
 	"rair/internal/topology"
 )
@@ -32,7 +35,8 @@ type OutputVCState struct {
 
 // AuditInputVCs calls fn for every VC of input port d.
 func (r *Router) AuditInputVCs(d topology.Dir, fn func(InputVCState)) {
-	for _, vc := range r.in[d].vcs {
+	for i := range r.in[d].vcs {
+		vc := &r.in[d].vcs[i]
 		fn(InputVCState{
 			VC: vc.idx, Owner: vc.owner,
 			Allocated: vc.stage != stageIdle,
@@ -44,7 +48,7 @@ func (r *Router) AuditInputVCs(d topology.Dir, fn func(InputVCState)) {
 // AuditInputFlits calls fn for every buffered flit of input port d's VC vc,
 // head first.
 func (r *Router) AuditInputFlits(d topology.Dir, vc int, fn func(msg.Flit)) {
-	buf := r.in[d].vcs[vc].buf
+	buf := &r.in[d].vcs[vc].buf
 	for i := 0; i < buf.Len(); i++ {
 		fn(buf.At(i))
 	}
@@ -52,7 +56,8 @@ func (r *Router) AuditInputFlits(d topology.Dir, vc int, fn func(msg.Flit)) {
 
 // AuditOutputVCs calls fn for every VC of output port d.
 func (r *Router) AuditOutputVCs(d topology.Dir, fn func(OutputVCState)) {
-	for _, v := range r.out[d].vcs {
+	for i := range r.out[d].vcs {
+		v := &r.out[d].vcs[i]
 		fn(OutputVCState{VC: v.idx, Owner: v.owner, Credits: v.credits, TailSent: v.tailSent})
 	}
 }
@@ -70,6 +75,143 @@ func (r *Router) STRegister(d topology.Dir) (msg.Flit, bool) {
 
 // STPending reports how many ST registers are occupied across the router.
 func (r *Router) STPending() int { return r.stPending }
+
+// AuditMasks recomputes every incrementally-maintained occupancy bitmask
+// and stage counter from the authoritative per-VC state (the slow reference
+// scan the masks replaced) and reports each discrepancy through fn. A clean
+// datapath reports nothing. Read-only; called between tick barriers by the
+// invariant checker.
+func (r *Router) AuditMasks(fn func(desc string)) {
+	var rcN, vaN, activeN, stN int
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		in := r.in[d]
+		var rcM, vaM, activeM, occM vcMask
+		flits := 0
+		for i := range in.vcs {
+			vc := &in.vcs[i]
+			bit := vcMask(1) << uint(vc.idx)
+			switch vc.stage {
+			case stageRC:
+				rcM |= bit
+			case stageVA:
+				vaM |= bit
+			case stageActive:
+				activeM |= bit
+			}
+			if !vc.buf.Empty() {
+				occM |= bit
+			}
+			flits += vc.buf.Len()
+		}
+		rcN += bits.OnesCount64(rcM)
+		vaN += bits.OnesCount64(vaM)
+		activeN += bits.OnesCount64(activeM)
+		reportMask(fn, "in", d, "rcMask", in.rcMask, rcM)
+		reportMask(fn, "in", d, "vaMask", in.vaMask, vaM)
+		reportMask(fn, "in", d, "activeMask", in.activeMask, activeM)
+		reportMask(fn, "in", d, "occMask", in.occMask, occM)
+		if in.bufFlits != flits {
+			fn(fmt.Sprintf("in %s bufFlits=%d, buffers hold %d", d, in.bufFlits, flits))
+		}
+	}
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		out := r.out[d]
+		var freeM, creditM, fullM, drainM vcMask
+		credits := 0
+		for i := range out.vcs {
+			v := &out.vcs[i]
+			bit := vcMask(1) << uint(v.idx)
+			if v.owner == nil {
+				freeM |= bit
+			}
+			if v.credits > 0 {
+				creditM |= bit
+			}
+			if v.credits == r.cfg.Depth {
+				fullM |= bit
+			}
+			if v.owner != nil && v.tailSent {
+				drainM |= bit
+			}
+			credits += v.credits
+		}
+		reportMask(fn, "out", d, "freeMask", out.freeMask, freeM)
+		reportMask(fn, "out", d, "creditMask", out.creditMask, creditM)
+		reportMask(fn, "out", d, "fullMask", out.fullMask, fullM)
+		reportMask(fn, "out", d, "drainMask", out.drainMask, drainM)
+		if out.creditSum != credits {
+			fn(fmt.Sprintf("out %s creditSum=%d, counters hold %d", d, out.creditSum, credits))
+		}
+		if out.stValid {
+			stN++
+		}
+	}
+	if r.rcCount != rcN {
+		fn(fmt.Sprintf("rcCount=%d, stage scan finds %d", r.rcCount, rcN))
+	}
+	if r.vaCount != vaN {
+		fn(fmt.Sprintf("vaCount=%d, stage scan finds %d", r.vaCount, vaN))
+	}
+	if r.activeCount != activeN {
+		fn(fmt.Sprintf("activeCount=%d, stage scan finds %d", r.activeCount, activeN))
+	}
+	if r.stPending != stN {
+		fn(fmt.Sprintf("stPending=%d, ST registers hold %d", r.stPending, stN))
+	}
+}
+
+func reportMask(fn func(string), side string, d topology.Dir, name string, got, want vcMask) {
+	if got != want {
+		fn(fmt.Sprintf("%s %s %s=%#x, reference scan gives %#x", side, d, name, got, want))
+	}
+}
+
+// AuditMasks recomputes the NI's VC shadow masks and activity counters from
+// the authoritative stream and credit state, reporting discrepancies through
+// fn (the NI-side counterpart of Router.AuditMasks).
+func (ni *NI) AuditMasks(fn func(desc string)) {
+	var streamM, creditM, fullM vcMask
+	streaming := 0
+	for i := range ni.streams {
+		if ni.streams[i].pkt != nil {
+			streamM |= 1 << uint(i)
+			streaming++
+		}
+	}
+	for i, c := range ni.credits {
+		if c > 0 {
+			creditM |= 1 << uint(i)
+		}
+		if c == ni.cfg.Depth {
+			fullM |= 1 << uint(i)
+		}
+	}
+	if ni.streamMask != streamM {
+		fn(fmt.Sprintf("NI streamMask=%#x, stream scan gives %#x", ni.streamMask, streamM))
+	}
+	if ni.creditMask != creditM {
+		fn(fmt.Sprintf("NI creditMask=%#x, credit scan gives %#x", ni.creditMask, creditM))
+	}
+	if ni.fullMask != fullM {
+		fn(fmt.Sprintf("NI fullMask=%#x, credit scan gives %#x", ni.fullMask, fullM))
+	}
+	if ni.streaming != streaming {
+		fn(fmt.Sprintf("NI streaming=%d, stream scan finds %d", ni.streaming, streaming))
+	}
+	if d := bits.OnesCount64(ni.drainMask); ni.drainingN != d {
+		fn(fmt.Sprintf("NI drainingN=%d, drainMask holds %d", ni.drainingN, d))
+	}
+	queued := 0
+	for _, q := range ni.queues {
+		queued += q.Len()
+	}
+	if ni.queued != queued {
+		fn(fmt.Sprintf("NI queued=%d, queues hold %d", ni.queued, queued))
+	}
+	if ni.streamMask&ni.drainMask != 0 {
+		fn(fmt.Sprintf("NI streamMask %#x overlaps drainMask %#x", ni.streamMask, ni.drainMask))
+	}
+}
 
 // InLink returns input port d's upstream link (nil on mesh-edge ports).
 func (r *Router) InLink(d topology.Dir) *Link { return r.in[d].link }

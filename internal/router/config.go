@@ -74,6 +74,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("router: VC depth must be >= 1")
 	case c.LinkLatency < 1:
 		return fmt.Errorf("router: link latency must be >= 1")
+	case c.VCsPerPort() > 64:
+		// The datapath tracks per-port VC occupancy in single-word bitmasks.
+		return fmt.Errorf("router: %d VCs per port exceeds the bitmask limit of 64", c.VCsPerPort())
 	}
 	return nil
 }

@@ -10,13 +10,29 @@ import (
 // DebugDropCredit steals one downstream credit from output port d's VC vc,
 // as if the credit had been lost without the fault injector's bookkeeping.
 // It exists only so tests can seed a genuine accounting bug and assert the
-// invariant checker reports it; nothing in the simulator calls it.
+// invariant checker reports it; nothing in the simulator calls it. The
+// shadow masks are kept consistent with the counter — the seeded bug is a
+// conservation violation, not a datapath desync.
 func (r *Router) DebugDropCredit(d topology.Dir, vc int) {
-	v := r.out[d].vcs[vc]
+	p := r.out[d]
+	v := &p.vcs[vc]
 	if v.credits == 0 {
 		panic("router: DebugDropCredit on empty credit counter")
 	}
 	v.credits--
+	p.creditSum--
+	p.fullMask &^= 1 << uint(vc)
+	if v.credits == 0 {
+		p.creditMask &^= 1 << uint(vc)
+	}
+}
+
+// DebugCorruptMask flips output port d's creditMask bit for VC vc without
+// touching the credit counter, desynchronizing the mask shadow from the
+// authoritative state. Exists only so tests can assert the invariant
+// checker's mask audit catches datapath desyncs.
+func (r *Router) DebugCorruptMask(d topology.Dir, vc int) {
+	r.out[d].creditMask ^= 1 << uint(vc)
 }
 
 // DebugState renders the router's pipeline state for diagnostics (watchdog
@@ -26,7 +42,8 @@ func (r *Router) DebugState() string {
 	fmt.Fprintf(&b, "router %d (app %d)\n", r.node, r.app)
 	stages := [...]string{"Idle", "RC", "VA", "Active"}
 	for d := topology.Dir(0); d < topology.NumDirs; d++ {
-		for _, vc := range r.in[d].vcs {
+		for i := range r.in[d].vcs {
+			vc := &r.in[d].vcs[i]
 			if vc.owner == nil && vc.buf.Empty() {
 				continue
 			}
@@ -42,7 +59,8 @@ func (r *Router) DebugState() string {
 	}
 	for d := topology.Dir(0); d < topology.NumDirs; d++ {
 		out := r.out[d]
-		for _, ov := range out.vcs {
+		for i := range out.vcs {
+			ov := &out.vcs[i]
 			if ov.owner == nil {
 				continue
 			}

@@ -2,6 +2,7 @@ package router
 
 import (
 	"fmt"
+	"math/bits"
 
 	"rair/internal/msg"
 	"rair/internal/policy"
@@ -19,6 +20,13 @@ import (
 // The NI mirrors the local input port's VC state through the credit wire:
 // a VC it has claimed is known free again once every flit has been sent and
 // every credit has returned (the same atomic-VC condition routers use).
+//
+// Streams are value slots (a packet pointer plus a cursor) whose flits are
+// synthesized on the fly with msg.FlitAt, so claiming and streaming a
+// packet allocates nothing. VC state is shadowed by the same kind of
+// occupancy bitmasks the router datapath uses: streamMask (claimed and
+// still sending), drainMask (sent, awaiting credits), creditMask
+// (credits > 0) and fullMask (credits == Depth).
 type NI struct {
 	cfg     Config
 	node    int
@@ -29,11 +37,16 @@ type NI struct {
 
 	queues []*sim.Queue[*msg.Packet] // per message class
 
-	streams  []*stream // per local-input VC; nil when not streaming
-	credits  []int
-	draining []bool // all flits sent, waiting for credits to return
-	rrVC     int
-	rrClass  int
+	streams []stream // per local-input VC; pkt nil when not streaming
+	credits []int
+
+	streamMask vcMask // VCs with a live stream
+	drainMask  vcMask // VCs with all flits sent, waiting for credits
+	creditMask vcMask // VCs with at least one credit
+	fullMask   vcMask // VCs with the full credit stock
+
+	rrVC    int
+	rrClass int
 
 	// Activity counters: queued packets, live streams and draining VCs.
 	// When all three are zero the NI's Tick is a no-op and the tick engine
@@ -43,6 +56,11 @@ type NI struct {
 	drainingN int
 
 	kinds []policy.VCClass // cached cfg.KindOf per VC index
+
+	// escMask marks escape VCs; classWindow[c] the VC range of class c
+	// (the freeVC search operates on mask intersections).
+	escMask     vcMask
+	classWindow []vcMask
 
 	onEject func(*msg.Packet, int64)
 
@@ -55,8 +73,8 @@ type NI struct {
 }
 
 type stream struct {
-	flits []msg.Flit
-	next  int
+	pkt  *msg.Packet
+	next int
 }
 
 // NewNI builds the interface for node. onEject is invoked when a packet's
@@ -65,11 +83,12 @@ func NewNI(cfg Config, node int, regions *region.Map, inj, ej *Link, onEject fun
 	v := cfg.VCsPerPort()
 	ni := &NI{
 		cfg: cfg, node: node, regions: regions, inj: inj, ej: ej,
-		queues:   make([]*sim.Queue[*msg.Packet], cfg.Classes),
-		streams:  make([]*stream, v),
-		credits:  make([]int, v),
-		draining: make([]bool, v),
-		onEject:  onEject,
+		queues:     make([]*sim.Queue[*msg.Packet], cfg.Classes),
+		streams:    make([]stream, v),
+		credits:    make([]int, v),
+		creditMask: allVCs(v),
+		fullMask:   allVCs(v),
+		onEject:    onEject,
 	}
 	for i := range ni.queues {
 		ni.queues[i] = sim.NewQueue[*msg.Packet](16)
@@ -80,6 +99,13 @@ func NewNI(cfg Config, node int, regions *region.Map, inj, ej *Link, onEject fun
 	ni.kinds = make([]policy.VCClass, v)
 	for i := range ni.kinds {
 		ni.kinds[i] = cfg.KindOf(i)
+		if ni.kinds[i] == policy.VCEscape {
+			ni.escMask |= 1 << uint(i)
+		}
+	}
+	ni.classWindow = make([]vcMask, cfg.Classes)
+	for c := range ni.classWindow {
+		ni.classWindow[c] = allVCs(cfg.VCsPerClass()) << uint(cfg.ClassBase(msg.Class(c)))
 	}
 	return ni
 }
@@ -129,15 +155,7 @@ func (ni *NI) QueueLen() int {
 // ejections are counted at the destination NI, so network-wide accounting
 // belongs to the network).
 func (ni *NI) Pending() bool {
-	if ni.QueueLen() > 0 {
-		return true
-	}
-	for _, s := range ni.streams {
-		if s != nil {
-			return true
-		}
-	}
-	return false
+	return ni.QueueLen() > 0 || ni.streamMask != 0
 }
 
 // Created reports how many packets this NI has accepted.
@@ -182,6 +200,10 @@ func (ni *NI) DeliverCredit(vc int) {
 	if ni.credits[vc] > ni.cfg.Depth {
 		panic("router: NI credit overflow")
 	}
+	ni.creditMask |= 1 << uint(vc)
+	if ni.credits[vc] == ni.cfg.Depth {
+		ni.fullMask |= 1 << uint(vc)
+	}
 }
 
 // Tick claims VCs for queued packets and streams one flit.
@@ -194,11 +216,9 @@ func (ni *NI) Tick(now int64) {
 	}
 	if ni.drainingN > 0 {
 		// Free drained VCs whose credits have all returned.
-		for vc := range ni.draining {
-			if ni.draining[vc] && ni.credits[vc] == ni.cfg.Depth {
-				ni.draining[vc] = false
-				ni.drainingN--
-			}
+		if m := ni.drainMask & ni.fullMask; m != 0 {
+			ni.drainMask &^= m
+			ni.drainingN -= bits.OnesCount64(m)
 		}
 	}
 }
@@ -220,7 +240,8 @@ func (ni *NI) claim() {
 			continue
 		}
 		p, _ := q.Pop()
-		ni.streams[vc] = &stream{flits: msg.Flits(p)}
+		ni.streams[vc] = stream{pkt: p}
+		ni.streamMask |= 1 << uint(vc)
 		ni.queued--
 		ni.streaming++
 		ni.rrClass = (cls + 1) % ni.cfg.Classes
@@ -231,56 +252,64 @@ func (ni *NI) claim() {
 // freeVC finds a free local-input VC for class cls, preferring adaptive VCs
 // over the escape VC (the escape VC is a deadlock-safety resource; keeping
 // it lightly used at injection helps congested traffic fall back to it).
+// A VC is free when it has no stream, is not draining, and holds its full
+// credit stock — the intersection of three masks with the class window.
 func (ni *NI) freeVC(cls msg.Class) int {
-	base := ni.cfg.ClassBase(cls)
-	found := -1
-	for i := base; i < base+ni.cfg.VCsPerClass(); i++ {
-		if ni.streams[i] != nil || ni.draining[i] || ni.credits[i] != ni.cfg.Depth {
-			continue
-		}
-		if ni.kinds[i] != policy.VCEscape {
-			return i
-		}
-		if found < 0 {
-			found = i
-		}
+	free := ni.classWindow[cls] &^ (ni.streamMask | ni.drainMask) & ni.fullMask
+	if adaptive := free &^ ni.escMask; adaptive != 0 {
+		return bits.TrailingZeros64(adaptive)
 	}
-	return found
+	if free != 0 {
+		return bits.TrailingZeros64(free)
+	}
+	return -1
 }
 
 // sendOne pushes at most one flit onto the injection link, round-robin over
-// the active streams with credits.
+// the active streams with credits. The rotating scan is a pair of mask
+// lookups: the first candidate at or after rrVC, else the first candidate
+// below it.
 func (ni *NI) sendOne(now int64) {
 	if !ni.inj.CanSendFlit() {
 		return
 	}
-	v := len(ni.streams)
-	for i := 0; i < v; i++ {
-		vc := (ni.rrVC + i) % v
-		s := ni.streams[vc]
-		if s == nil || ni.credits[vc] == 0 {
-			continue
-		}
-		f := s.flits[s.next]
-		f.VC = vc
-		if f.Type.IsHead() {
-			f.Pkt.InjectedAt = now
-			ni.injected++
-			if ni.tel != nil && ni.tel.Traced(f.Pkt.ID) {
-				ni.tel.Lifecycle(f.Pkt.ID, telemetry.StageInject, now)
-			}
-		}
-		ni.inj.SendFlit(f)
-		ni.flitsOut++
-		ni.credits[vc]--
-		s.next++
-		if s.next == len(s.flits) {
-			ni.streams[vc] = nil
-			ni.draining[vc] = true
-			ni.streaming--
-			ni.drainingN++
-		}
-		ni.rrVC = (vc + 1) % v
+	m := ni.streamMask & ni.creditMask
+	if m == 0 {
 		return
+	}
+	vc := 0
+	if hi := m >> uint(ni.rrVC) << uint(ni.rrVC); hi != 0 {
+		vc = bits.TrailingZeros64(hi)
+	} else {
+		vc = bits.TrailingZeros64(m)
+	}
+	s := &ni.streams[vc]
+	f := msg.FlitAt(s.pkt, s.next)
+	f.VC = vc
+	if f.Type.IsHead() {
+		f.Pkt.InjectedAt = now
+		ni.injected++
+		if ni.tel != nil && ni.tel.Traced(f.Pkt.ID) {
+			ni.tel.Lifecycle(f.Pkt.ID, telemetry.StageInject, now)
+		}
+	}
+	ni.inj.SendFlit(f)
+	ni.flitsOut++
+	ni.credits[vc]--
+	ni.fullMask &^= 1 << uint(vc)
+	if ni.credits[vc] == 0 {
+		ni.creditMask &^= 1 << uint(vc)
+	}
+	s.next++
+	if s.next == s.pkt.Size {
+		ni.streams[vc] = stream{}
+		ni.streamMask &^= 1 << uint(vc)
+		ni.drainMask |= 1 << uint(vc)
+		ni.streaming--
+		ni.drainingN++
+	}
+	ni.rrVC = vc + 1
+	if ni.rrVC == len(ni.streams) {
+		ni.rrVC = 0
 	}
 }

@@ -112,7 +112,7 @@ func TestNIRespectsCredits(t *testing.T) {
 	// Return two credits: exactly two more flits flow.
 	vc := 0
 	for i, s := range ni.streams {
-		if s != nil {
+		if s.pkt != nil {
 			vc = i
 		}
 	}

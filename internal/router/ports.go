@@ -2,6 +2,7 @@ package router
 
 import (
 	"fmt"
+	"math/bits"
 
 	"rair/internal/msg"
 	"rair/internal/sim"
@@ -20,10 +21,24 @@ const (
 	stageActive
 )
 
-// inputVC is one virtual channel of an input port.
+// vcMask is a VC-index bitmask (bit i ↔ VC i of one port). Config.Validate
+// caps VCsPerPort at 64 so a whole port always fits one word; the pipeline
+// then selects per-stage candidate sets by mask intersection and walks them
+// with bits.TrailingZeros64 instead of scanning VC slices. Iteration order
+// is ascending VC index, which all arbitration downstream is insensitive to
+// (requests are filed into index-addressed rows and granted by the
+// arbiters' own rotation order).
+type vcMask = uint64
+
+// allVCs returns the mask with bits [0, v) set.
+func allVCs(v int) vcMask { return ^vcMask(0) >> (64 - uint(v)) }
+
+// inputVC is one virtual channel of an input port. VCs are stored by value
+// in the port's slice (and the flit ring is embedded) so the pipeline's
+// per-VC state is contiguous in memory rather than a pointer chase per VC.
 type inputVC struct {
 	idx   int
-	buf   *sim.Bounded[msg.Flit]
+	buf   sim.Bounded[msg.Flit]
 	owner *msg.Packet
 	stage vcStage
 
@@ -38,35 +53,35 @@ type inputVC struct {
 }
 
 // InputPort is one input of the router: a set of VC buffers plus the
-// upstream link credits are returned on. The per-stage index lists let the
-// pipeline visit only the VCs actually in each stage instead of scanning
-// every VC every cycle.
+// upstream link credits are returned on. The per-stage occupancy masks are
+// maintained incrementally at head arrival, VA grant and tail departure, so
+// the pipeline visits only the VCs actually in each stage — candidate
+// selection is a mask intersection, and removals are single bit clears
+// instead of slice splices.
 type InputPort struct {
 	dir      topology.Dir
-	vcs      []*inputVC
+	vcs      []inputVC
 	link     *Link // upstream link; nil on unconnected mesh-edge ports
 	bufFlits int   // buffered flits across the port's VCs (congestion metric)
 
-	rcPend []int // VC indices whose head arrived (stageRC)
-	vaPend []int // VC indices waiting for a VC allocation (stageVA)
-	active []int // VC indices streaming flits (stageActive)
+	rcMask     vcMask // VCs whose head arrived (stageRC)
+	vaMask     vcMask // VCs waiting for a VC allocation (stageVA)
+	activeMask vcMask // VCs streaming flits (stageActive)
+	occMask    vcMask // VCs with a non-empty flit buffer
 }
 
 func newInputPort(cfg Config, dir topology.Dir, link *Link) *InputPort {
 	v := cfg.VCsPerPort()
-	p := &InputPort{
-		dir: dir, link: link, vcs: make([]*inputVC, v),
-		rcPend: make([]int, 0, v), vaPend: make([]int, 0, v), active: make([]int, 0, v),
-	}
+	p := &InputPort{dir: dir, link: link, vcs: make([]inputVC, v)}
 	for i := range p.vcs {
-		p.vcs[i] = &inputVC{idx: i, buf: sim.NewBounded[msg.Flit](cfg.Depth)}
+		p.vcs[i] = inputVC{idx: i, buf: sim.MakeBounded[msg.Flit](cfg.Depth)}
 	}
 	return p
 }
 
 // deliver accepts a flit arriving from the upstream link.
 func (p *InputPort) deliver(f msg.Flit) {
-	vc := p.vcs[f.VC]
+	vc := &p.vcs[f.VC]
 	if f.Type.IsHead() {
 		if vc.owner != nil {
 			panic(fmt.Sprintf("router: head flit of %v arrived on busy VC %d (%s port, owner %v)",
@@ -75,11 +90,12 @@ func (p *InputPort) deliver(f msg.Flit) {
 		vc.owner = f.Pkt
 		vc.stage = stageRC
 		vc.vaAttempts = 0
-		p.rcPend = append(p.rcPend, f.VC)
+		p.rcMask |= 1 << uint(f.VC)
 	} else if vc.owner != f.Pkt {
 		panic(fmt.Sprintf("router: body flit of %v on VC %d owned by %v", f.Pkt, f.VC, vc.owner))
 	}
 	vc.buf.Push(f)
+	p.occMask |= 1 << uint(f.VC)
 	p.bufFlits++
 }
 
@@ -95,70 +111,86 @@ type outputVC struct {
 // OutputPort is one output of the router: per-VC credit/allocation state,
 // the downstream link, and the ST pipeline register holding the flit that
 // won SA last cycle.
+//
+// Three credit-derived masks shadow the per-VC counters so the hot-path
+// queries are single-bit tests: creditMask (credits > 0, read by SA_in's
+// eligibility check), fullMask (credits == Depth, the atomic-reuse release
+// condition), and freeMask (owner == nil, VA_in's free-VC search window).
+// drainMask marks owned VCs whose tail has been sent, awaiting full credit
+// return.
 type OutputPort struct {
 	dir      topology.Dir
-	vcs      []*outputVC
+	vcs      []outputVC
 	link     *Link // downstream link; nil on unconnected mesh-edge ports
 	ejection bool  // Local port: the sink accepts unconditionally
 
 	st      msg.Flit
 	stValid bool
 
-	allocated int   // owned VCs (bookkeeping invariant)
-	draining  []int // VC indices with tail sent, awaiting credit return
-	freeable  bool  // a credit arrived or a tail was sent since the last free() scan
+	allocated  int    // owned VCs (bookkeeping invariant)
+	creditSum  int    // total credits across the port's VCs
+	freeMask   vcMask // VCs with no owner (VA_in candidates)
+	creditMask vcMask // VCs with at least one downstream credit
+	fullMask   vcMask // VCs with the full credit stock
+	drainMask  vcMask // owned VCs with tail sent, awaiting credit return
 }
 
 func newOutputPort(cfg Config, dir topology.Dir, link *Link, ejection bool) *OutputPort {
-	p := &OutputPort{dir: dir, link: link, ejection: ejection, vcs: make([]*outputVC, cfg.VCsPerPort())}
+	v := cfg.VCsPerPort()
+	p := &OutputPort{
+		dir: dir, link: link, ejection: ejection, vcs: make([]outputVC, v),
+		creditSum: v * cfg.Depth,
+		freeMask:  allVCs(v), creditMask: allVCs(v), fullMask: allVCs(v),
+	}
 	for i := range p.vcs {
-		p.vcs[i] = &outputVC{idx: i, credits: cfg.Depth}
+		p.vcs[i] = outputVC{idx: i, credits: cfg.Depth}
 	}
 	return p
 }
 
-// deliverCredit accepts a returned credit from the downstream router.
+// deliverCredit accepts a returned credit from the downstream router. The
+// overflow panic lives in a separate function so deliverCredit stays within
+// the inlining budget.
 func (p *OutputPort) deliverCredit(vc int, depth int) {
-	v := p.vcs[vc]
+	v := &p.vcs[vc]
 	v.credits++
 	if v.credits > depth {
-		panic(fmt.Sprintf("router: credit overflow on %s VC %d", p.dir, vc))
+		p.creditOverflow(vc)
 	}
-	p.freeable = true
+	p.creditSum++
+	p.creditMask |= 1 << uint(vc)
+	if v.credits == depth {
+		p.fullMask |= 1 << uint(vc)
+	}
+}
+
+//go:noinline
+func (p *OutputPort) creditOverflow(vc int) {
+	panic(fmt.Sprintf("router: credit overflow on %s VC %d", p.dir, vc))
 }
 
 // free releases output VCs whose packets have fully drained downstream:
 // tail sent and every credit returned (atomic VC reuse condition). Ejection
-// VCs never consume credits, so they free as soon as the tail is sent.
-// Only the draining list (VCs whose tail has been sent) is visited, and only
-// when something happened that could newly satisfy the release condition (a
-// returned credit or a sent tail), so busy ports don't rescan every VC every
-// cycle.
-func (p *OutputPort) free(depth int) {
-	if len(p.draining) == 0 || !p.freeable {
+// VCs never consume credits, so they free as soon as the tail is sent. The
+// releasable set is exactly drainMask ∩ fullMask — a two-word intersection,
+// visited only when the router saw a credit arrival or a sent tail on this
+// port since the last scan (the router-level freeable port mask).
+func (p *OutputPort) free() {
+	m := p.drainMask & p.fullMask
+	if m == 0 {
 		return
 	}
-	p.freeable = false
-	kept := p.draining[:0]
-	for _, i := range p.draining {
-		v := p.vcs[i]
-		if v.credits == depth {
-			v.owner = nil
-			v.tailSent = false
-			p.allocated--
-		} else {
-			kept = append(kept, i)
-		}
+	p.drainMask &^= m
+	p.freeMask |= m
+	for ; m != 0; m &= m - 1 {
+		v := &p.vcs[bits.TrailingZeros64(m)]
+		v.owner = nil
+		v.tailSent = false
+		p.allocated--
 	}
-	p.draining = kept
 }
 
 // freeCredits reports the total credits available across the port (the
-// local congestion signal for selection functions).
-func (p *OutputPort) freeCredits() int {
-	sum := 0
-	for _, v := range p.vcs {
-		sum += v.credits
-	}
-	return sum
-}
+// local congestion signal for selection functions), maintained incrementally
+// at credit arrival and flit departure.
+func (p *OutputPort) freeCredits() int { return p.creditSum }

@@ -2,6 +2,7 @@ package router
 
 import (
 	"fmt"
+	"math/bits"
 
 	"rair/internal/arbiter"
 	"rair/internal/msg"
@@ -11,6 +12,14 @@ import (
 	"rair/internal/telemetry"
 	"rair/internal/topology"
 )
+
+// routeEntry is one cached route: the algorithm's candidate directions for
+// a destination and the single deadlock-free escape direction.
+type routeEntry struct {
+	dirs [4]topology.Dir
+	n    uint8
+	esc  topology.Dir
+}
 
 // dpaPolicy is the optional policy facet exposing the DPA priority state;
 // telemetry uses it to count transitions without widening policy.Policy.
@@ -48,7 +57,6 @@ type Router struct {
 	// SA scratch state.
 	saReq    []bool
 	saPrio   []int
-	saCand   []int                      // SA_in candidate indices this port
 	saOutVC  [topology.NumDirs]*inputVC // SA_in winner per input port
 	saOutReq [topology.NumDirs][topology.NumDirs]bool
 	saOutPri [topology.NumDirs][topology.NumDirs]int
@@ -81,8 +89,26 @@ type Router struct {
 	nativeOcc   int
 	foreignOcc  int
 
+	// freeablePorts marks output ports where a credit arrived or a tail
+	// was sent since the last output-VC release scan; Tick visits only
+	// those ports instead of re-running free() on all of them.
+	freeablePorts uint8
+
 	// vcKind caches cfg.KindOf for every VC index (hot in VA_in).
 	vcKind []policy.VCClass
+
+	// routes caches the routing algorithm's per-destination outputs
+	// (candidate directions and escape direction), which are pure
+	// functions of (node, dst). Entries fill lazily on first use —
+	// restricted algorithms like LBDR reject destinations they cannot
+	// route, so only destinations actually seen are ever computed.
+	// n == 0 marks an unfilled entry (a legal route has ≥ 1 candidate).
+	routes []routeEntry
+
+	// classWindow[c] masks the VC indices of message class c; escapeMask
+	// marks every escape VC. Both pre-compute the VA_in search windows.
+	classWindow []vcMask
+	escapeMask  vcMask
 
 	// flitsSent counts flits pushed onto each output link (utilization
 	// instrumentation).
@@ -122,14 +148,22 @@ func New(cfg Config, node, app int, mesh *topology.Mesh, regions *region.Map,
 	}
 	r.saReq = make([]bool, v)
 	r.saPrio = make([]int, v)
-	r.saCand = make([]int, 0, v)
 	r.vaReqN = make([]int, nOut)
 	r.vaSingle = make([]int, nOut)
 	r.stList = make([]topology.Dir, 0, topology.NumDirs)
 	r.vcKind = make([]policy.VCClass, v)
 	for i := range r.vcKind {
 		r.vcKind[i] = cfg.KindOf(i)
+		if r.vcKind[i] == policy.VCEscape {
+			r.escapeMask |= 1 << uint(i)
+		}
 	}
+	r.classWindow = make([]vcMask, cfg.Classes)
+	for c := range r.classWindow {
+		base := cfg.ClassBase(msg.Class(c))
+		r.classWindow[c] = allVCs(cfg.VCsPerClass()) << uint(base)
+	}
+	r.routes = make([]routeEntry, mesh.N())
 	rowLen := mesh.W
 	if mesh.H > rowLen {
 		rowLen = mesh.H
@@ -198,6 +232,7 @@ func (r *Router) DeliverFlit(dir topology.Dir, f msg.Flit) {
 // DeliverCredit accepts a credit returned on the output port at dir.
 func (r *Router) DeliverCredit(dir topology.Dir, vc int) {
 	r.out[dir].deliverCredit(vc, r.cfg.Depth)
+	r.freeablePorts |= 1 << uint(dir)
 }
 
 // Active reports whether ticking the router this cycle can have any effect:
@@ -270,9 +305,10 @@ func (r *Router) PathOccupancy(d topology.Dir, hops int) int {
 // stage per cycle.
 func (r *Router) Tick(now int64) {
 	r.now = now
-	for _, out := range r.out {
-		out.free(r.cfg.Depth)
+	for m := r.freeablePorts; m != 0; m &= m - 1 {
+		r.out[bits.TrailingZeros8(m)].free()
 	}
+	r.freeablePorts = 0
 	r.switchTraversal()
 	r.switchAllocation()
 	r.vcAllocation()
@@ -320,52 +356,60 @@ func (r *Router) switchAllocation() {
 		return
 	}
 	v := r.cfg.VCsPerPort()
-	// SA_in: nominate one VC per input port, visiting only VCs in the
-	// active (streaming) stage. Ports with a single candidate skip
-	// priority computation and the arbiter scan (the outcome cannot
-	// depend on either). r.saReq stays all-false between ports: only the
+	// SA_in: nominate one VC per input port. The candidate set is the
+	// mask intersection of streaming VCs and non-empty buffers, walked
+	// with TrailingZeros64; the per-VC eligibility check (output ST free,
+	// downstream credit available) reads the output port's credit mask
+	// instead of the counter. Ports with a single candidate skip priority
+	// computation and the arbiter scan (the outcome cannot depend on
+	// either). r.saReq stays all-false between ports: only the
 	// multi-candidate branch sets entries, and it clears them after use.
 	for d := topology.Dir(0); d < topology.NumDirs; d++ {
 		in := r.in[d]
 		r.saOutVC[d] = nil
-		if len(in.active) == 0 {
+		m := in.activeMask & in.occMask
+		if m == 0 {
 			continue
 		}
-		cand := r.saCand[:0]
-		for _, i := range in.active {
-			vc := in.vcs[i]
-			if vc.buf.Empty() {
-				continue
-			}
+		var elig vcMask
+		first, n := 0, 0
+		for ; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros64(m)
+			vc := &in.vcs[i]
 			out := r.out[vc.outPort]
-			if out.stValid || (!out.ejection && out.vcs[vc.outVC].credits <= 0) {
+			if out.stValid || (!out.ejection && out.creditMask>>uint(vc.outVC)&1 == 0) {
 				if r.tel != nil && !out.stValid {
 					r.tel.CreditStall()
 				}
 				continue
 			}
-			cand = append(cand, i)
+			elig |= 1 << uint(i)
+			if n == 0 {
+				first = i
+			}
+			n++
 		}
-		r.saCand = cand
-		switch len(cand) {
+		switch n {
 		case 0:
 		case 1:
-			r.saInArb[d].GrantSingle(cand[0])
-			r.saOutVC[d] = in.vcs[cand[0]]
+			r.saInArb[d].GrantSingle(first)
+			r.saOutVC[d] = &in.vcs[first]
 			if r.tel != nil {
-				r.tel.SAInGrant(r.regions.Native(r.node, in.vcs[cand[0]].owner.App))
+				r.tel.SAInGrant(r.regions.Native(r.node, in.vcs[first].owner.App))
 			}
 		default:
-			for _, i := range cand {
+			for c := elig; c != 0; c &= c - 1 {
+				i := bits.TrailingZeros64(c)
 				r.saReq[i] = true
 				r.saPrio[i] = r.pol.SAPriority(policy.FromPacket(in.vcs[i].owner, r.app), r.now)
 			}
 			w := r.saInArb[d].Grant(r.saReq[:v], r.saPrio[:v])
 			if w != arbiter.None {
-				r.saOutVC[d] = in.vcs[w]
+				r.saOutVC[d] = &in.vcs[w]
 			}
 			if r.tel != nil {
-				for _, i := range cand {
+				for c := elig; c != 0; c &= c - 1 {
+					i := bits.TrailingZeros64(c)
 					native := r.regions.Native(r.node, in.vcs[i].owner.App)
 					if i == w {
 						r.tel.SAInGrant(native)
@@ -374,8 +418,8 @@ func (r *Router) switchAllocation() {
 					}
 				}
 			}
-			for _, i := range cand {
-				r.saReq[i] = false
+			for c := elig; c != 0; c &= c - 1 {
+				r.saReq[bits.TrailingZeros64(c)] = false
 			}
 		}
 	}
@@ -448,12 +492,16 @@ func (r *Router) switchAllocation() {
 // its allocated output port.
 func (r *Router) transfer(inDir topology.Dir, vc *inputVC) {
 	out := r.out[vc.outPort]
-	ov := out.vcs[vc.outVC]
+	ov := &out.vcs[vc.outVC]
 	f, ok := vc.buf.Pop()
 	if !ok {
 		panic("router: SA granted an empty VC")
 	}
-	r.in[inDir].bufFlits--
+	in := r.in[inDir]
+	in.bufFlits--
+	if vc.buf.Empty() {
+		in.occMask &^= 1 << uint(vc.idx)
+	}
 	f.VC = vc.outVC
 	if f.Type.IsHead() {
 		f.Pkt.Hops++
@@ -473,8 +521,13 @@ func (r *Router) transfer(inDir topology.Dir, vc *inputVC) {
 			panic("router: SA granted without credit")
 		}
 		ov.credits--
+		out.creditSum--
+		out.fullMask &^= 1 << uint(vc.outVC)
+		if ov.credits == 0 {
+			out.creditMask &^= 1 << uint(vc.outVC)
+		}
 	}
-	if in := r.in[inDir]; in.link != nil {
+	if in.link != nil {
 		if !in.link.CanSendCredit() {
 			panic("router: credit wire busy (more than one dequeue per port per cycle)")
 		}
@@ -489,16 +542,10 @@ func (r *Router) transfer(inDir topology.Dir, vc *inputVC) {
 		vc.stage = stageIdle
 		vc.owner = nil
 		ov.tailSent = true
-		out.draining = append(out.draining, vc.outVC)
-		out.freeable = true
+		out.drainMask |= 1 << uint(vc.outVC)
+		r.freeablePorts |= 1 << uint(vc.outPort)
 		r.activeCount--
-		inp := r.in[inDir]
-		for j, idx := range inp.active {
-			if idx == vc.idx {
-				inp.active = append(inp.active[:j], inp.active[j+1:]...)
-				break
-			}
-		}
+		in.activeMask &^= 1 << uint(vc.idx)
 	}
 }
 
@@ -514,8 +561,8 @@ func (r *Router) vcAllocation() {
 	r.vaTouched = r.vaTouched[:0]
 	for d := topology.Dir(0); d < topology.NumDirs; d++ {
 		in := r.in[d]
-		for _, i := range in.vaPend {
-			vc := in.vcs[i]
+		for m := in.vaMask; m != 0; m &= m - 1 {
+			vc := &in.vcs[bits.TrailingZeros64(m)]
 			outGlobal, cls := r.vaInput(vc)
 			if outGlobal < 0 {
 				continue
@@ -544,7 +591,7 @@ func (r *Router) vcAllocation() {
 		if r.tel != nil {
 			for i, req := range r.vaReq[og] {
 				if req && i != w {
-					lost := r.in[topology.Dir(i/v)].vcs[i%v]
+					lost := &r.in[topology.Dir(i/v)].vcs[i%v]
 					r.tel.VADeny(r.regions.Native(r.node, lost.owner.App))
 				}
 			}
@@ -566,35 +613,43 @@ func (r *Router) vcAllocation() {
 // the global output VC index requested (or -1) and its class.
 func (r *Router) vaInput(vc *inputVC) (int, policy.VCClass) {
 	pkt := vc.owner
-	escDir := r.alg.EscapeDir(r.node, pkt.Dst)
-	r.dirBuf = r.alg.Candidates(r.node, pkt.Dst, r.dirBuf[:0])
+	re := &r.routes[pkt.Dst]
+	if re.n == 0 {
+		r.dirBuf = r.alg.Candidates(r.node, pkt.Dst, r.dirBuf[:0])
+		if len(r.dirBuf) > len(re.dirs) {
+			panic(fmt.Sprintf("router: %d route candidates exceed the cache width", len(r.dirBuf)))
+		}
+		re.n = uint8(copy(re.dirs[:], r.dirBuf))
+		re.esc = r.alg.EscapeDir(r.node, pkt.Dst)
+	}
+	escDir := re.esc
 	var port topology.Dir
 	switch {
-	case len(r.dirBuf) == 1:
-		port = r.dirBuf[0]
+	case re.n == 1:
+		port = re.dirs[0]
 	case vc.vaAttempts%2 == 1:
 		port = escDir
 	default:
-		port = r.sel.Select(r.node, pkt.Dst, r.dirBuf, r)
+		port = r.sel.Select(r.node, pkt.Dst, re.dirs[:re.n], r)
 	}
 	vc.vaAttempts++
 	out := r.out[port]
 	if out.link == nil && !out.ejection {
 		panic(fmt.Sprintf("router %d: route to unconnected port %v", r.node, port))
 	}
-	base := r.cfg.ClassBase(pkt.Class)
+	// Free-VC search: the candidate window is the intersection of the
+	// port's free-VC mask with the packet class's VC range; escape VCs
+	// are masked out unless the request targets the escape direction.
+	free := out.freeMask & r.classWindow[pkt.Class]
+	if port != escDir {
+		free &^= r.escapeMask
+	}
 	chosen := -1
 	var chosenCls policy.VCClass
 	bestPref := 3
-	for i := base; i < base+r.cfg.VCsPerClass(); i++ {
-		ov := out.vcs[i]
-		if ov.owner != nil {
-			continue
-		}
+	for m := free; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
 		cls := r.vcKind[i]
-		if cls == policy.VCEscape && port != escDir {
-			continue
-		}
 		pref := r.preference(pkt, cls)
 		if pref < bestPref {
 			bestPref, chosen, chosenCls = pref, i, cls
@@ -635,9 +690,9 @@ func (r *Router) allocate(og, w int) {
 	port := topology.Dir(og / v)
 	ovIdx := og % v
 	in := r.in[topology.Dir(w/v)]
-	vc := in.vcs[w%v]
+	vc := &in.vcs[w%v]
 	out := r.out[port]
-	ov := out.vcs[ovIdx]
+	ov := &out.vcs[ovIdx]
 	if ov.owner != nil {
 		panic("router: VA granted an occupied output VC")
 	}
@@ -653,18 +708,14 @@ func (r *Router) allocate(og, w int) {
 	ov.owner = vc.owner
 	ov.tailSent = false
 	out.allocated++
+	out.freeMask &^= 1 << uint(ovIdx)
 	vc.outPort = port
 	vc.outVC = ovIdx
 	vc.stage = stageActive
 	r.vaCount--
 	r.activeCount++
-	for j, idx := range in.vaPend {
-		if idx == vc.idx {
-			in.vaPend = append(in.vaPend[:j], in.vaPend[j+1:]...)
-			break
-		}
-	}
-	in.active = append(in.active, vc.idx)
+	in.vaMask &^= 1 << uint(vc.idx)
+	in.activeMask |= 1 << uint(vc.idx)
 }
 
 // routeCompute advances heads that arrived last cycle into the VA stage.
@@ -674,17 +725,21 @@ func (r *Router) routeCompute() {
 	}
 	for d := topology.Dir(0); d < topology.NumDirs; d++ {
 		in := r.in[d]
-		for _, i := range in.rcPend {
-			vc := in.vcs[i]
+		m := in.rcMask
+		if m == 0 {
+			continue
+		}
+		in.rcMask = 0
+		in.vaMask |= m
+		for ; m != 0; m &= m - 1 {
+			vc := &in.vcs[bits.TrailingZeros64(m)]
 			vc.stage = stageVA
-			in.vaPend = append(in.vaPend, i)
 			r.vaCount++
 			r.rcCount--
 			if r.tel != nil && r.tel.Traced(vc.owner.ID) {
 				r.tel.Lifecycle(vc.owner.ID, telemetry.StageRC, r.now)
 			}
 		}
-		in.rcPend = in.rcPend[:0]
 	}
 }
 
@@ -708,8 +763,8 @@ func (r *Router) updatePolicy() {
 func (r *Router) BufferedFlits() int {
 	n := 0
 	for d := topology.Dir(0); d < topology.NumDirs; d++ {
-		for _, vc := range r.in[d].vcs {
-			n += vc.buf.Len()
+		for i := range r.in[d].vcs {
+			n += r.in[d].vcs[i].buf.Len()
 		}
 	}
 	for _, out := range r.out {
@@ -725,7 +780,8 @@ func (r *Router) BufferedFlits() int {
 func (r *Router) OldestOwner() *msg.Packet {
 	var oldest *msg.Packet
 	for d := topology.Dir(0); d < topology.NumDirs; d++ {
-		for _, vc := range r.in[d].vcs {
+		for i := range r.in[d].vcs {
+			vc := &r.in[d].vcs[i]
 			if vc.owner != nil && (oldest == nil || vc.owner.CreatedAt < oldest.CreatedAt) {
 				oldest = vc.owner
 			}

@@ -23,3 +23,25 @@ func BenchmarkBoundedPushPop(b *testing.B) {
 		q.Pop()
 	}
 }
+
+// BenchmarkDelayLineShift measures the per-cycle cost of advancing a link
+// wire in its two steady shapes: "empty" is the idle-path floor every
+// quiescent-but-recently-active link pays, "occupied" the full shift with a
+// value entering and leaving every cycle.
+func BenchmarkDelayLineShift(b *testing.B) {
+	b.Run("empty", func(b *testing.B) {
+		d := NewDelayLine[int](3)
+		for i := 0; i < b.N; i++ {
+			d.Shift()
+		}
+	})
+	b.Run("occupied", func(b *testing.B) {
+		d := NewDelayLine[int](3)
+		for i := 0; i < b.N; i++ {
+			if d.CanPush() {
+				d.Push(i)
+			}
+			d.Shift()
+		}
+	})
+}

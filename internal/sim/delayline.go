@@ -6,9 +6,14 @@ package sim
 // Shift; a cheap occupancy counter lets idle links skip work.
 //
 // At most one value may enter per cycle, matching a single-flit-wide link.
+//
+// The ring indices are maintained with conditional wraps instead of modulo
+// arithmetic: Shift and CanPush sit on the simulator's hottest path (every
+// busy link, every cycle) and an integer division per call is measurable.
 type DelayLine[T any] struct {
 	slots  []slot[T]
 	head   int // index shifted out next
+	tail   int // entry register: index pushes land in
 	count  int
 	pushed bool // guards one-push-per-cycle
 }
@@ -23,7 +28,7 @@ func NewDelayLine[T any](latency int) *DelayLine[T] {
 	if latency < 1 {
 		panic("sim: DelayLine latency must be >= 1")
 	}
-	return &DelayLine[T]{slots: make([]slot[T], latency)}
+	return &DelayLine[T]{slots: make([]slot[T], latency), tail: latency - 1}
 }
 
 // Latency reports the configured latency in cycles.
@@ -35,11 +40,7 @@ func (d *DelayLine[T]) Busy() bool { return d.count > 0 }
 // CanPush reports whether a value may enter this cycle (one per cycle, and
 // the entry register must be free).
 func (d *DelayLine[T]) CanPush() bool {
-	if d.pushed {
-		return false
-	}
-	tail := (d.head + len(d.slots) - 1) % len(d.slots)
-	return !d.slots[tail].valid
+	return !d.pushed && !d.slots[d.tail].valid
 }
 
 // Push inserts v at the entry register. It panics if CanPush is false.
@@ -47,8 +48,7 @@ func (d *DelayLine[T]) Push(v T) {
 	if !d.CanPush() {
 		panic("sim: DelayLine double push or entry occupied")
 	}
-	tail := (d.head + len(d.slots) - 1) % len(d.slots)
-	d.slots[tail] = slot[T]{v: v, valid: true}
+	d.slots[d.tail] = slot[T]{v: v, valid: true}
 	d.count++
 	d.pushed = true
 }
@@ -61,7 +61,10 @@ func (d *DelayLine[T]) Shift() (v T, ok bool) {
 	out := d.slots[d.head]
 	var zero slot[T]
 	d.slots[d.head] = zero
-	d.head = (d.head + 1) % len(d.slots)
+	d.tail = d.head
+	if d.head++; d.head == len(d.slots) {
+		d.head = 0
+	}
 	if out.valid {
 		d.count--
 		return out.v, true

@@ -26,7 +26,11 @@ func (q *Queue[T]) Push(v T) {
 	if q.size == len(q.buf) {
 		q.grow()
 	}
-	q.buf[(q.head+q.size)%len(q.buf)] = v
+	i := q.head + q.size
+	if i >= len(q.buf) {
+		i -= len(q.buf)
+	}
+	q.buf[i] = v
 	q.size++
 }
 
@@ -51,7 +55,9 @@ func (q *Queue[T]) Pop() (v T, ok bool) {
 	v = q.buf[q.head]
 	var zero T
 	q.buf[q.head] = zero
-	q.head = (q.head + 1) % len(q.buf)
+	if q.head++; q.head == len(q.buf) {
+		q.head = 0
+	}
 	q.size--
 	return v, true
 }
@@ -70,7 +76,10 @@ func (q *Queue[T]) At(i int) T {
 	if i < 0 || i >= q.size {
 		panic("sim: Queue.At out of range")
 	}
-	return q.buf[(q.head+i)%len(q.buf)]
+	if i += q.head; i >= len(q.buf) {
+		i -= len(q.buf)
+	}
+	return q.buf[i]
 }
 
 // Clear drops all elements, retaining the allocation.
@@ -99,6 +108,16 @@ func NewBounded[T any](depth int) *Bounded[T] {
 	return &Bounded[T]{buf: make([]T, depth)}
 }
 
+// MakeBounded returns a ring of exactly depth slots by value, for embedding
+// directly in a larger struct (keeping the element storage one indirection
+// away instead of two).
+func MakeBounded[T any](depth int) Bounded[T] {
+	if depth < 1 {
+		panic("sim: Bounded depth must be >= 1")
+	}
+	return Bounded[T]{buf: make([]T, depth)}
+}
+
 // Cap reports the fixed capacity.
 func (b *Bounded[T]) Cap() int { return len(b.buf) }
 
@@ -116,7 +135,11 @@ func (b *Bounded[T]) Push(v T) {
 	if b.Full() {
 		panic("sim: Bounded overflow (flow-control violation)")
 	}
-	b.buf[(b.head+b.size)%len(b.buf)] = v
+	i := b.head + b.size
+	if i >= len(b.buf) {
+		i -= len(b.buf)
+	}
+	b.buf[i] = v
 	b.size++
 }
 
@@ -128,7 +151,9 @@ func (b *Bounded[T]) Pop() (v T, ok bool) {
 	v = b.buf[b.head]
 	var zero T
 	b.buf[b.head] = zero
-	b.head = (b.head + 1) % len(b.buf)
+	if b.head++; b.head == len(b.buf) {
+		b.head = 0
+	}
 	b.size--
 	return v, true
 }
@@ -147,5 +172,8 @@ func (b *Bounded[T]) At(i int) T {
 	if i < 0 || i >= b.size {
 		panic("sim: Bounded.At out of range")
 	}
-	return b.buf[(b.head+i)%len(b.buf)]
+	if i += b.head; i >= len(b.buf) {
+		i -= len(b.buf)
+	}
+	return b.buf[i]
 }

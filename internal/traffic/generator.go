@@ -84,6 +84,11 @@ type Generator struct {
 	// Until stops generation at this cycle when > 0 (the network then
 	// drains).
 	Until int64
+	// Pool, when non-nil, supplies packet structs instead of the heap. Set
+	// it together with network.Params.Recycle so ejected packets flow back;
+	// a recycled packet carries the same field values a fresh allocation
+	// would, so pooling never changes simulation results.
+	Pool *msg.Pool
 }
 
 // NewGenerator builds a generator over the given applications.
@@ -117,10 +122,15 @@ func (g *Generator) Tick(now int64) {
 				cls = msg.ClassResponse
 			}
 			g.nextID++
-			g.inject(src, &msg.Packet{
-				ID: g.nextID, App: a.App, Src: src, Dst: dst,
-				Class: cls, Size: size,
-			}, now)
+			var p *msg.Packet
+			if g.Pool != nil {
+				p = g.Pool.Get()
+			} else {
+				p = &msg.Packet{}
+			}
+			p.ID, p.App, p.Src, p.Dst = g.nextID, a.App, src, dst
+			p.Class, p.Size = cls, size
+			g.inject(src, p, now)
 		}
 	}
 }

@@ -550,6 +550,16 @@ func (s *Simulation) Run(ph Phases) (*Report, error) {
 	if s.cfg.CheckInvariants {
 		icfg = &invariant.Config{Mode: invariant.ModeCollect}
 	}
+	// Synthetic traffic recycles packets through a freelist: the stats
+	// collector copies what it needs at ejection, so nothing retains the
+	// pointer. The memory system does (requests live across protocol
+	// round-trips), so PARSEC runs allocate normally.
+	var pool *msg.Pool
+	var recycle func(*msg.Packet)
+	if !s.parsec {
+		pool = msg.NewPool()
+		recycle = pool.Put
+	}
 	net := network.New(network.Params{
 		Router:  s.rcfg,
 		Regions: s.regions,
@@ -564,6 +574,7 @@ func (s *Simulation) Run(ph Phases) (*Report, error) {
 				col.OnEject(p, now)
 			}
 		},
+		Recycle:   recycle,
 		Workers:   s.cfg.Workers,
 		Telemetry: tel,
 		Faults:    fcfg,
@@ -590,6 +601,7 @@ func (s *Simulation) Run(ph Phases) (*Report, error) {
 	if len(s.apps) > 0 {
 		gen := traffic.NewGenerator(s.apps, s.cfg.Seed, inject)
 		gen.Until = end
+		gen.Pool = pool
 		tickers = append(tickers, gen.Tick)
 	}
 	if s.adversary > 0 {
@@ -597,6 +609,7 @@ func (s *Simulation) Run(ph Phases) (*Report, error) {
 			[]traffic.AppTraffic{traffic.Adversary(mesh, adversaryApp, s.adversary/3)},
 			s.cfg.Seed^0xadadad, inject)
 		adv.Until = end
+		adv.Pool = pool
 		tickers = append(tickers, adv.Tick)
 	}
 
