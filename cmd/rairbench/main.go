@@ -20,10 +20,13 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"rair"
 	"rair/internal/harness"
+	"rair/internal/sweep"
 )
 
 // benchResults is the machine-readable summary written by -json: simulator
@@ -154,6 +157,50 @@ func faultRun(spec string, quick bool, seed uint64) error {
 	return nil
 }
 
+// emitSweepManifest writes a rairsweep manifest covering the experiment
+// registry (or just `only` when set) so sweeps are declared against the
+// same names rairbench -list reports.
+func emitSweepManifest(path, only, seedList string, quick bool) error {
+	var seeds []uint64
+	for _, s := range strings.Split(seedList, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil || v == 0 {
+			return fmt.Errorf("-manifest-seeds: bad seed %q (need integers >= 1)", s)
+		}
+		seeds = append(seeds, v)
+	}
+	if len(seeds) == 0 {
+		return fmt.Errorf("-manifest-seeds: no seeds given")
+	}
+	var names []string
+	for _, e := range rair.Experiments() {
+		if only == "" || e.Name == only {
+			names = append(names, e.Name)
+		}
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("no experiment named %q (see -list)", only)
+	}
+	mname := "full-reproduction"
+	if quick {
+		mname = "quick-reproduction"
+	}
+	if only != "" {
+		mname = only
+	}
+	m := sweep.NewManifest(mname, names, seeds, quick)
+	if err := sweep.WriteManifest(m, path); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d experiments x %d seeds, %s durations)\n",
+		path, len(names), len(seeds), map[bool]string{true: "quick", false: "paper"}[quick])
+	return nil
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "use reduced warmup/measurement windows")
 	name := flag.String("experiment", "", "run a single experiment (see -list)")
@@ -168,7 +215,22 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this path")
 	faultSpec := flag.String("faults", "", "run only the fault-injection smoke scenario with this spec, e.g. drop=0.001,corrupt=0.001,stall=0.0002 (implies -check-invariants)")
 	checkInv := flag.Bool("check-invariants", false, "run only the invariant-checked probe scenario (no experiments); combine with -faults for the fault smoke")
+	emitManifest := flag.String("emit-manifest", "", "write a rairsweep manifest covering the known experiments (honors -quick, -experiment, -manifest-seeds) to this path and exit")
+	manifestSeeds := flag.String("manifest-seeds", "1", "comma-separated seed list for -emit-manifest")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "rairbench: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *emitManifest != "" {
+		if err := emitSweepManifest(*emitManifest, *name, *manifestSeeds, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "rairbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *faultSpec != "" || *checkInv {
 		if err := faultRun(*faultSpec, *quick, *seed); err != nil {

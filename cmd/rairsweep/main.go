@@ -1,0 +1,247 @@
+// Command rairsweep orchestrates experiment sweeps over the rairbench
+// experiment registry: it expands a declarative manifest into content-hash-
+// keyed jobs, schedules them over a bounded worker pool, and appends results
+// to a JSONL store that an interrupted sweep resumes bit-exactly. The check
+// subcommand gates the store against the EXPERIMENTS.md shape guards; diff
+// compares two stores statistically.
+//
+// Usage:
+//
+//	rairsweep run    -manifest m.json -out store.jsonl [-workers N] [-job-timeout d] [-retries n] [-force]
+//	rairsweep resume -manifest m.json -out store.jsonl [-workers N] [-job-timeout d] [-retries n]
+//	rairsweep check  -store store.jsonl [-summary out.md]
+//	rairsweep diff   -a a.jsonl -b b.jsonl [-tol frac]
+//
+// Manifests come from rairbench -emit-manifest or are written by hand; see
+// DESIGN.md ("Sweep orchestration") and testdata/sweep/.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rair"
+	"rair/internal/sweep"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: rairsweep <command> [flags]
+
+commands:
+  run      execute a manifest into a fresh result store
+  resume   continue an interrupted sweep (skips jobs already in the store)
+  check    apply the EXPERIMENTS.md shape guards to a store
+  diff     compare two stores statistically
+
+run 'rairsweep <command> -h' for per-command flags.
+`)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:], false)
+	case "resume":
+		err = cmdRun(os.Args[2:], true)
+	case "check":
+		err = cmdCheck(os.Args[2:])
+	case "diff":
+		err = cmdDiff(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "rairsweep: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rairsweep:", err)
+		os.Exit(1)
+	}
+}
+
+// knownExperiments names the rairbench registry for manifest validation.
+func knownExperiments() []string {
+	var out []string
+	for _, e := range rair.Experiments() {
+		out = append(out, e.Name)
+	}
+	return out
+}
+
+func cmdRun(args []string, resume bool) error {
+	name := "run"
+	if resume {
+		name = "resume"
+	}
+	fs := flag.NewFlagSet("rairsweep "+name, flag.ExitOnError)
+	manifestPath := fs.String("manifest", "", "manifest JSON path (required; see rairbench -emit-manifest)")
+	out := fs.String("out", "sweep.jsonl", "result store path")
+	workers := fs.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS-bounded by the harness; 1 = serial)")
+	timeout := fs.Duration("job-timeout", 0, "per-job attempt timeout (0 = none)")
+	retries := fs.Int("retries", 1, "extra attempts per job on transient failure")
+	force := fs.Bool("force", false, "overwrite an existing store (run only)")
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *manifestPath == "" {
+		fs.Usage()
+		return fmt.Errorf("-manifest is required")
+	}
+	m, err := sweep.LoadManifest(*manifestPath)
+	if err != nil {
+		return err
+	}
+	if err := m.Validate(knownExperiments()); err != nil {
+		return err
+	}
+
+	done := map[string]bool{}
+	var store *sweep.Store
+	if resume {
+		recs, dropped, err := sweep.RecoverStore(*out)
+		if err != nil {
+			return fmt.Errorf("recovering store: %w", err)
+		}
+		if dropped > 0 {
+			fmt.Fprintf(os.Stderr, "rairsweep: truncated %d bytes of partial record from %s\n", dropped, *out)
+		}
+		done = sweep.Keys(recs)
+		if store, err = sweep.OpenStoreAppend(*out); err != nil {
+			return err
+		}
+	} else {
+		if store, err = sweep.CreateStore(*out, *force); err != nil {
+			return err
+		}
+	}
+	defer store.Close()
+
+	// SIGINT/SIGTERM cancel the sweep gracefully: in-order results already
+	// appended stay, and resume continues from them.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	w := *workers
+	if w <= 0 {
+		w = defaultWorkers()
+	}
+	start := time.Now()
+	sum, err := sweep.Execute(ctx, m, store, done, runner, sweep.Options{
+		Workers: w,
+		Timeout: *timeout,
+		Retries: *retries,
+		Log: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		},
+	})
+	if errors.Is(err, sweep.ErrCanceled) {
+		return fmt.Errorf("interrupted after %d/%d jobs (%.0fs); 'rairsweep resume' continues from %s",
+			sum.Skipped+sum.Ran, sum.Total, time.Since(start).Seconds(), *out)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sweep %s complete: %d jobs (%d ran, %d resumed, %d retries) in %.0fs -> %s\n",
+		m.Name, sum.Total, sum.Ran, sum.Skipped, sum.Retried, time.Since(start).Seconds(), *out)
+	return nil
+}
+
+// runner executes one job through the experiment registry. Each experiment
+// parallelizes internally via harness.RunParallel, so the per-sweep worker
+// default stays small.
+func runner(_ context.Context, job sweep.Job) (text, csv string, err error) {
+	return rair.ExperimentCSV(job.Experiment, job.Quick, job.Seed)
+}
+
+// defaultWorkers is deliberately conservative: experiments already fan out
+// across GOMAXPROCS goroutines internally (harness.RunParallel), so sweep-
+// level concurrency mainly hides the serial tails of small experiments.
+func defaultWorkers() int { return 2 }
+
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("rairsweep check", flag.ExitOnError)
+	storePath := fs.String("store", "", "result store to check (required)")
+	summary := fs.String("summary", "", "also write a markdown summary of the store to this path")
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *storePath == "" {
+		fs.Usage()
+		return fmt.Errorf("-store is required")
+	}
+	recs, err := sweep.LoadStore(*storePath)
+	if err != nil {
+		return err
+	}
+	rep := sweep.CheckStore(recs)
+	fmt.Println(rep)
+	if *summary != "" {
+		f, err := os.Create(*summary)
+		if err != nil {
+			return err
+		}
+		if err := sweep.WriteSummary(f, *storePath, recs, rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *summary)
+	}
+	if !rep.OK() {
+		if len(rep.Findings) == 0 {
+			return fmt.Errorf("no guarded experiments in %s (%d records)", *storePath, len(recs))
+		}
+		return fmt.Errorf("%d shape guard(s) failed", rep.Failed())
+	}
+	return nil
+}
+
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("rairsweep diff", flag.ExitOnError)
+	aPath := fs.String("a", "", "baseline store (required)")
+	bPath := fs.String("b", "", "candidate store (required)")
+	tol := fs.Float64("tol", 0, "max allowed |relative delta| per numeric cell (0 = exact)")
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *aPath == "" || *bPath == "" {
+		fs.Usage()
+		return fmt.Errorf("-a and -b are required")
+	}
+	a, err := sweep.LoadStore(*aPath)
+	if err != nil {
+		return err
+	}
+	b, err := sweep.LoadStore(*bPath)
+	if err != nil {
+		return err
+	}
+	rep := sweep.DiffStores(a, b)
+	fmt.Println(rep)
+	if !rep.Within(*tol) {
+		return fmt.Errorf("stores differ beyond tolerance %.4f (max |delta| %.4f, %d structural mismatches)",
+			*tol, rep.MaxDelta(), len(rep.Mismatched))
+	}
+	return nil
+}

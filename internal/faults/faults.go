@@ -426,7 +426,7 @@ func (ls *LinkState) CreditArrive(vc int, now int64) bool {
 	if ls.noCredits || ls.prof.CreditLeakProb == 0 {
 		return true
 	}
-	h := splitmix64(ls.cfg.Seed ^ (ls.id+0x1000) ^ uint64(now)*0xd1342543de82ef95 ^ uint64(vc)<<40)
+	h := splitmix64(ls.cfg.Seed ^ (ls.id + 0x1000) ^ uint64(now)*0xd1342543de82ef95 ^ uint64(vc)<<40)
 	if unit(h) >= ls.prof.CreditLeakProb {
 		return true
 	}
@@ -548,7 +548,7 @@ func (in *Injector) RouterStalled(node int, now int64) bool {
 	if prof.StallProb == 0 {
 		return false
 	}
-	h := splitmix64(in.cfg.Seed ^ 0xabcd^uint64(node)<<32 ^ uint64(now)*0x2545f4914f6cdd1d)
+	h := splitmix64(in.cfg.Seed ^ 0xabcd ^ uint64(node)<<32 ^ uint64(now)*0x2545f4914f6cdd1d)
 	if unit(h) >= prof.StallProb {
 		return false
 	}

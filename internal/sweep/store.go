@@ -1,0 +1,159 @@
+package sweep
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Record is one completed job in the result store. Every field is
+// deterministic for a fixed job (no timestamps, no wall durations), so a
+// store produced by a resumed sweep is byte-identical to one produced by an
+// uninterrupted run of the same manifest.
+type Record struct {
+	Key        string `json:"key"`
+	Experiment string `json:"experiment"`
+	Seed       uint64 `json:"seed"`
+	Quick      bool   `json:"quick"`
+	// Attempts is omitted from the record on purpose: retry counts depend
+	// on transient host conditions and would break store byte-identity.
+
+	// Text is the experiment's human-readable table; CSV its machine-
+	// readable rendition (empty for experiments without tabular output).
+	Text string `json:"text"`
+	CSV  string `json:"csv,omitempty"`
+}
+
+// encodeRecord marshals a record as one canonical JSONL line (struct field
+// order, no HTML escaping, trailing newline).
+func encodeRecord(r *Record) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil // Encode appends the newline
+}
+
+// Store is an append-only JSONL result store.
+type Store struct {
+	f *os.File
+}
+
+// CreateStore creates (or truncates, when force is set) a store file.
+// Without force an existing non-empty file is an error: starting a fresh
+// sweep over a partial store silently discards work — that is what resume
+// is for.
+func CreateStore(path string, force bool) (*Store, error) {
+	if !force {
+		if fi, err := os.Stat(path); err == nil && fi.Size() > 0 {
+			return nil, fmt.Errorf("sweep: store %s already exists (%d bytes); use resume to continue it or force to overwrite", path, fi.Size())
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{f: f}, nil
+}
+
+// OpenStoreAppend opens an existing store for appending (resume). The
+// caller is expected to have run RecoverStore first so the tail is a whole
+// record.
+func OpenStoreAppend(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{f: f}, nil
+}
+
+// Append writes one record and syncs it to disk, so a kill mid-sweep loses
+// at most the record being written (which recovery truncates away).
+func (s *Store) Append(r *Record) error {
+	line, err := encodeRecord(r)
+	if err != nil {
+		return err
+	}
+	if _, err := s.f.Write(line); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+// Close closes the underlying file.
+func (s *Store) Close() error { return s.f.Close() }
+
+// LoadStore reads every whole record of a store. A truncated or corrupt
+// tail line is an error here; use RecoverStore to truncate it away before
+// resuming.
+func LoadStore(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, _, err := scanRecords(f)
+	return recs, err
+}
+
+// RecoverStore reads a store tolerating a truncated tail: records up to the
+// last whole line parse as usual, and anything after (a record cut mid-write
+// by a kill) is truncated off the file so appends resume from a clean
+// record boundary. It returns the surviving records and how many bytes were
+// dropped.
+func RecoverStore(path string) (recs []Record, dropped int64, err error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	recs, good, err := scanRecords(f)
+	if err == nil {
+		return recs, 0, nil
+	}
+	fi, err2 := f.Stat()
+	if err2 != nil {
+		return nil, 0, err2
+	}
+	dropped = fi.Size() - good
+	if terr := f.Truncate(good); terr != nil {
+		return nil, 0, fmt.Errorf("sweep: truncating corrupt store tail: %w", terr)
+	}
+	return recs, dropped, nil
+}
+
+// scanRecords parses JSONL records, returning the byte offset just past the
+// last whole valid record alongside a parse error for anything beyond it.
+func scanRecords(r io.Reader) (recs []Record, good int64, err error) {
+	br := bufio.NewReader(r)
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if rerr == io.EOF && len(line) == 0 {
+			return recs, good, nil
+		}
+		whole := rerr == nil // a line without trailing newline is a cut-off write
+		var rec Record
+		if jerr := json.Unmarshal(line, &rec); jerr != nil || rec.Key == "" || !whole {
+			return recs, good, fmt.Errorf("sweep: store corrupt at byte %d: %d trailing bytes are not a whole record", good, len(line))
+		}
+		recs = append(recs, rec)
+		good += int64(len(line))
+		if rerr != nil {
+			return recs, good, nil
+		}
+	}
+}
+
+// Keys returns the set of job keys present in the records.
+func Keys(recs []Record) map[string]bool {
+	out := make(map[string]bool, len(recs))
+	for _, r := range recs {
+		out[r.Key] = true
+	}
+	return out
+}

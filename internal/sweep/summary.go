@@ -1,0 +1,38 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteSummary renders a store (and optionally its check report) as a
+// markdown summary: one section per experiment with the result tables of
+// every seed, preceded by the guard verdicts. The nightly CI workflow
+// publishes this next to the raw store.
+func WriteSummary(w io.Writer, name string, recs []Record, check *CheckReport) error {
+	fmt.Fprintf(w, "# Sweep summary: %s\n\n%d results.\n\n", name, len(recs))
+	if check != nil {
+		fmt.Fprintf(w, "## Shape guards\n\n```\n%s\n```\n\n", check.String())
+	}
+	byExp := make(map[string][]Record)
+	var names []string
+	for _, r := range recs {
+		if len(byExp[r.Experiment]) == 0 {
+			names = append(names, r.Experiment)
+		}
+		byExp[r.Experiment] = append(byExp[r.Experiment], r)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "## %s\n\n", n)
+		for _, r := range byExp[n] {
+			dur := "paper"
+			if r.Quick {
+				dur = "quick"
+			}
+			fmt.Fprintf(w, "seed %d, %s durations (`%s`):\n\n```\n%s```\n\n", r.Seed, dur, r.Key, r.Text)
+		}
+	}
+	return nil
+}
