@@ -29,19 +29,49 @@ import (
 	"rair/internal/sweep"
 )
 
-// benchResults is the machine-readable summary written by -json: simulator
-// speed (serial and sharded tick engine) plus the paper's headline APL
-// reductions and per-experiment wall time.
+// benchResults is the machine-readable file written by -json: a history of
+// date-keyed entries, newest last, so successive runs accumulate a record
+// instead of overwriting the previous measurement.
 type benchResults struct {
-	Date              string  `json:"date"`
-	Quick             bool    `json:"quick"`
-	Seed              uint64  `json:"seed"`
-	GOMAXPROCS        int     `json:"gomaxprocs"`
-	CyclesPerS        float64 `json:"cycles_per_s_serial"`
-	CyclesPerSSharded float64 `json:"cycles_per_s_sharded"`
-	ShardWorkers      int     `json:"shard_workers"`
+	History []benchEntry `json:"history"`
+}
+
+// benchEntry is one -json measurement: simulator speed (serial engine,
+// sharded engine across a worker sweep, and the lockstep batch runner) plus
+// the paper's headline APL reductions and per-experiment wall time.
+type benchEntry struct {
+	Date       string  `json:"date"`
+	Quick      bool    `json:"quick"`
+	Seed       uint64  `json:"seed"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	CyclesPerS float64 `json:"cycles_per_s_serial"`
+	// CyclesPerSSharded records the sharded tick engine at each worker
+	// count of the sweep, keyed by the count. The 1-worker figure is the
+	// sharded engine's coordination overhead made visible (one goroutine
+	// paying barrier costs the serial engine doesn't) — it is expected to
+	// sit below cycles_per_s_serial, not a regression.
+	CyclesPerSSharded map[string]float64 `json:"cycles_per_s_sharded"`
+	// CyclesPerSBatched is the lockstep batch runner's aggregate speed:
+	// batch_width replications advanced in one pass, total simulated
+	// cycles across the batch per wall second.
+	CyclesPerSBatched float64 `json:"cycles_per_s_batched"`
+	BatchWidth        int     `json:"batch_width"`
 	// HeadlineReduction is Figure 14's average APL reduction versus RO_RR
 	// per scheme (the paper's headline result).
+	HeadlineReduction map[string]float64 `json:"fig14_avg_apl_reduction_vs_RO_RR"`
+	Experiments       []experimentTiming `json:"experiments"`
+}
+
+// legacyBenchResults is the pre-history single-object schema (sharded speed
+// as one number at one worker count); appendBenchEntry migrates it.
+type legacyBenchResults struct {
+	Date              string             `json:"date"`
+	Quick             bool               `json:"quick"`
+	Seed              uint64             `json:"seed"`
+	GOMAXPROCS        int                `json:"gomaxprocs"`
+	CyclesPerS        float64            `json:"cycles_per_s_serial"`
+	CyclesPerSSharded float64            `json:"cycles_per_s_sharded"`
+	ShardWorkers      int                `json:"shard_workers"`
 	HeadlineReduction map[string]float64 `json:"fig14_avg_apl_reduction_vs_RO_RR"`
 	Experiments       []experimentTiming `json:"experiments"`
 }
@@ -49,6 +79,42 @@ type benchResults struct {
 type experimentTiming struct {
 	Name    string  `json:"name"`
 	Seconds float64 `json:"seconds"`
+}
+
+// appendBenchEntry loads the results file at path (accepting both the
+// history schema and the legacy single-object schema, which it migrates to
+// history[0]), appends entry, and writes the file back.
+func appendBenchEntry(path string, entry benchEntry) error {
+	var res benchResults
+	if buf, err := os.ReadFile(path); err == nil {
+		if jerr := json.Unmarshal(buf, &res); jerr != nil || res.History == nil {
+			var legacy legacyBenchResults
+			if jerr := json.Unmarshal(buf, &legacy); jerr == nil && legacy.Date != "" {
+				res.History = []benchEntry{{
+					Date:       legacy.Date,
+					Quick:      legacy.Quick,
+					Seed:       legacy.Seed,
+					GOMAXPROCS: legacy.GOMAXPROCS,
+					CyclesPerS: legacy.CyclesPerS,
+					CyclesPerSSharded: map[string]float64{
+						strconv.Itoa(legacy.ShardWorkers): legacy.CyclesPerSSharded,
+					},
+					HeadlineReduction: legacy.HeadlineReduction,
+					Experiments:       legacy.Experiments,
+				}}
+			} else {
+				return fmt.Errorf("unrecognized results schema in %s", path)
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	res.History = append(res.History, entry)
+	buf, err := json.MarshalIndent(&res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 // throughput measures simulator speed in cycles/s on the standard probe (the
@@ -70,6 +136,31 @@ func throughput(workers int) float64 {
 		panic(err)
 	}
 	return cycles / time.Since(start).Seconds()
+}
+
+// throughputBatched measures the lockstep batch runner's aggregate speed on
+// the same probe scenario: width independent replications (seeds 1..width)
+// advanced in one pass, reported as total simulated cycles per wall second.
+func throughputBatched(width int) float64 {
+	sim, err := rair.New(rair.Config{Layout: rair.LayoutQuadrants, Scheme: "RA_RAIR", Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	for a := 0; a < 4; a++ {
+		if err := sim.AddApp(rair.AppSpec{App: a, LoadFrac: 0.5, GlobalFrac: 0.2}); err != nil {
+			panic(err)
+		}
+	}
+	seeds := make([]uint64, width)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	const cycles = 20000
+	start := time.Now()
+	if _, err := sim.RunBatch(rair.Phases{Warmup: 0, Measure: cycles, Drain: 0}, seeds, width); err != nil {
+		panic(err)
+	}
+	return float64(width) * cycles / time.Since(start).Seconds()
 }
 
 // telemetryRun executes the standard throughput probe scenario with
@@ -201,7 +292,30 @@ func emitSweepManifest(path, only, seedList string, quick bool) error {
 	return nil
 }
 
+// usage prints the command summary and flag reference to stderr; it is
+// installed as flag.Usage so unknown flags exit non-zero with the same text.
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: rairbench [flags]
+
+Reproduce the paper's evaluation: every table and figure has a named
+experiment that regenerates its rows.
+
+  rairbench -list              show available experiments
+  rairbench                    run everything at paper durations
+  rairbench -quick             run everything at reduced durations
+  rairbench -experiment fig14  run one experiment
+  rairbench -json BENCH_results.json
+                               append a machine-readable entry (simulator
+                               speed across a worker sweep, headline
+                               reductions, timings) to the history file
+
+Flags:
+`)
+	flag.PrintDefaults()
+}
+
 func main() {
+	flag.Usage = usage
 	quick := flag.Bool("quick", false, "use reduced warmup/measurement windows")
 	name := flag.String("experiment", "", "run a single experiment (see -list)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
@@ -318,22 +432,24 @@ func main() {
 		return
 	}
 
-	// Machine-readable summary: simulator speed (serial and sharded), the
-	// Figure 14 headline reductions, and the per-experiment wall times.
-	workers := runtime.GOMAXPROCS(0)
-	if workers > 8 {
-		workers = 8
-	}
-	res := benchResults{
+	// Machine-readable summary: simulator speed (serial engine, sharded
+	// engine at each worker count, batch runner), the Figure 14 headline
+	// reductions, and the per-experiment wall times — appended to the
+	// file's history rather than overwriting it.
+	entry := benchEntry{
 		Date:              time.Now().UTC().Format(time.RFC3339),
 		Quick:             *quick,
 		Seed:              *seed,
 		GOMAXPROCS:        runtime.GOMAXPROCS(0),
 		CyclesPerS:        throughput(0),
-		CyclesPerSSharded: throughput(workers),
-		ShardWorkers:      workers,
+		CyclesPerSSharded: map[string]float64{},
+		CyclesPerSBatched: throughputBatched(harness.DefaultBatchWidth),
+		BatchWidth:        harness.DefaultBatchWidth,
 		HeadlineReduction: map[string]float64{},
 		Experiments:       timings,
+	}
+	for _, w := range []int{1, 2, 4} {
+		entry.CyclesPerSSharded[strconv.Itoa(w)] = throughput(w)
 	}
 	dur := harness.PaperDurations()
 	if *quick {
@@ -341,17 +457,14 @@ func main() {
 	}
 	fig14 := harness.Fig14SixApp(dur, *seed)
 	for si := 1; si < len(fig14.Schemes); si++ {
-		res.HeadlineReduction[fig14.Schemes[si]] = fig14.AvgReduction(si)
+		entry.HeadlineReduction[fig14.Schemes[si]] = fig14.AvgReduction(si)
 	}
-	buf, err := json.MarshalIndent(&res, "", "  ")
-	if err != nil {
+	if err := appendBenchEntry(*jsonPath, entry); err != nil {
 		fmt.Fprintln(os.Stderr, "rairbench:", err)
 		os.Exit(1)
 	}
-	if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "rairbench:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("wrote %s (%.0f cycles/s serial, %.0f sharded x%d)\n",
-		*jsonPath, res.CyclesPerS, res.CyclesPerSSharded, res.ShardWorkers)
+	fmt.Printf("wrote %s (%.0f cycles/s serial; sharded x1 %.0f, x2 %.0f, x4 %.0f; batched x%d %.0f)\n",
+		*jsonPath, entry.CyclesPerS,
+		entry.CyclesPerSSharded["1"], entry.CyclesPerSSharded["2"], entry.CyclesPerSSharded["4"],
+		entry.BatchWidth, entry.CyclesPerSBatched)
 }

@@ -33,7 +33,10 @@ func (a *RoundRobin) Grant(req []bool) int {
 	}
 	for idx := a.ptr; idx < a.n; idx++ {
 		if req[idx] {
-			a.ptr = (idx + 1) % a.n
+			a.ptr = idx + 1
+			if a.ptr == a.n {
+				a.ptr = 0
+			}
 			return idx
 		}
 	}
@@ -80,7 +83,10 @@ func (a *Prioritized) Grant(req []bool, prio []int) int {
 		}
 	}
 	if best != None {
-		a.ptr = (best + 1) % a.n
+		a.ptr = best + 1
+		if a.ptr == a.n {
+			a.ptr = 0
+		}
 	}
 	return best
 }
@@ -89,7 +95,12 @@ func (a *Prioritized) Grant(req []bool, prio []int) int {
 // requestor: the outcome and the round-robin pointer update are exactly
 // those of Grant with a one-hot request vector, without scanning it.
 func (a *Prioritized) GrantSingle(idx int) int {
-	a.ptr = (idx + 1) % a.n
+	// idx+1 <= n always, so the wrap is a compare instead of a division
+	// (this sits on the uncontended fast path of every SA/VA grant).
+	a.ptr = idx + 1
+	if a.ptr == a.n {
+		a.ptr = 0
+	}
 	return idx
 }
 

@@ -77,6 +77,11 @@ type RAIR struct {
 	// reports and tests).
 	nativeHighCycles int64
 	totalCycles      int64
+
+	// Priority lookup tables (the policy.Tabular facet), rewritten on
+	// every DPA state change: saTab by native, vaTab by [class][native].
+	saTab [2]int8
+	vaTab [3][2]int8
 }
 
 // New returns a RAIR policy instance for one router.
@@ -87,7 +92,26 @@ func New(cfg Config) *RAIR {
 	if cfg.Delta < 0 {
 		panic("core: negative DPA hysteresis")
 	}
-	return &RAIR{cfg: cfg}
+	p := &RAIR{cfg: cfg}
+	p.refreshTables()
+	return p
+}
+
+// PriorityTables implements policy.Tabular: RAIR's priorities depend only
+// on (native, class, DPA state), so they tabulate exactly.
+func (p *RAIR) PriorityTables() (*[2]int8, *[3][2]int8) { return &p.saTab, &p.vaTab }
+
+// refreshTables re-derives the lookup tables from the current DPA state.
+// It must mirror VAOutPriority/SAPriority exactly; TestTablesMatchInterface
+// cross-checks the two.
+func (p *RAIR) refreshTables() {
+	for nat := 0; nat < 2; nat++ {
+		r := policy.Requestor{Native: nat == 1}
+		p.saTab[nat] = int8(p.SAPriority(r, 0))
+		for cls := 0; cls < 3; cls++ {
+			p.vaTab[cls][nat] = int8(p.VAOutPriority(r, policy.VCClass(cls), 0))
+		}
+	}
 }
 
 // NewFactory returns a policy.Factory producing one RAIR instance per
@@ -184,10 +208,12 @@ func (p *RAIR) Update(ovcNative, ovcForeign int) {
 	if !p.nativeHigh {
 		if f > (1+p.cfg.Delta)*n && ovcForeign > 0 {
 			p.nativeHigh = true
+			p.refreshTables()
 		}
 	} else {
 		if f < (1-p.cfg.Delta)*n {
 			p.nativeHigh = false
+			p.refreshTables()
 		}
 	}
 }

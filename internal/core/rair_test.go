@@ -224,3 +224,38 @@ func TestModeStrings(t *testing.T) {
 		t.Fatal("mode strings")
 	}
 }
+
+// TestTablesMatchInterface cross-checks the Tabular fast path against the
+// interface methods it shortcuts: for every mode, in both DPA states, the
+// lookup tables must return exactly what SAPriority/VAOutPriority return
+// for every (native, class) combination. refreshTables and the interface
+// methods are maintained by hand in parallel; this is the guard that keeps
+// them from drifting.
+func TestTablesMatchInterface(t *testing.T) {
+	for _, cfg := range []Config{
+		{}, {VAOnly: true}, {Mode: ModeNativeHigh}, {Mode: ModeForeignHigh},
+	} {
+		p := New(cfg)
+		check := func(state string) {
+			saTab, vaTab := p.PriorityTables()
+			for nat := 0; nat < 2; nat++ {
+				r := policy.Requestor{Native: nat == 1}
+				if got, want := int(saTab[nat]), p.SAPriority(r, 0); got != want {
+					t.Errorf("%s %s: saTab[%d]=%d, SAPriority=%d", p.Name(), state, nat, got, want)
+				}
+				for cls := 0; cls < 3; cls++ {
+					if got, want := int(vaTab[cls][nat]), p.VAOutPriority(r, policy.VCClass(cls), 0); got != want {
+						t.Errorf("%s %s: vaTab[%d][%d]=%d, VAOutPriority=%d", p.Name(), state, cls, nat, got, want)
+					}
+				}
+			}
+		}
+		check("initial")
+		// Drive the DPA through both states (no-op for the static modes,
+		// which must also leave the tables untouched).
+		p.Update(1, 100)
+		check("foreign-heavy")
+		p.Update(100, 1)
+		check("native-heavy")
+	}
+}

@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"rair/internal/msg"
+	"rair/internal/network"
+	"rair/internal/sim"
+	"rair/internal/stats"
+	"rair/internal/traffic"
+)
+
+// DefaultBatchWidth is how many simulations RunBatch keeps resident when the
+// caller doesn't choose. Note that widths above 1 trade cache locality for
+// residency: a full 64-node network's state slabs exceed L2, so interleaving
+// W such networks per tick measurably slows each of them (see RunParallel's
+// width-1 delegation). Width > 1 pays off for small meshes or when the
+// caller wants the whole replication set resident for other reasons.
+const DefaultBatchWidth = 4
+
+// batchSim is one live replication of a lockstep batch: a fully built
+// simulation plus the remainder of its two-phase schedule (the fixed-length
+// warmup+measure run, then the bounded drain).
+type batchSim struct {
+	idx   int // position in the caller's rcs slice
+	eng   *sim.Engine
+	net   *network.Network
+	col   *stats.Collector
+	run   int64 // fixed-phase cycles left
+	drain int64 // drain-phase cycle budget left
+}
+
+// startBatchSim builds the simulation for rc exactly as Run does, but leaves
+// the cycle loop to the caller.
+func startBatchSim(idx int, rc RunConfig) *batchSim {
+	col := stats.NewCollector(rc.Dur.Warmup, rc.Dur.Warmup+rc.Dur.Measure)
+	mesh := rc.Regions.Mesh()
+	pool := msg.NewPool()
+	net := network.New(network.Params{
+		Router:    rc.Router,
+		Regions:   rc.Regions,
+		Alg:       rc.Scheme.Alg(mesh),
+		Sel:       rc.Scheme.Sel(rc.Regions, rc.Router),
+		Policy:    rc.Scheme.Policy,
+		OnEject:   col.OnEject,
+		Recycle:   pool.Put,
+		Workers:   rc.Workers,
+		Telemetry: rc.Telemetry,
+		Faults:    rc.Faults,
+		Check:     rc.Check,
+	})
+	gen := traffic.NewGenerator(rc.Apps, rc.Seed, func(node int, p *msg.Packet, now int64) {
+		net.NI(node).Inject(p, now)
+	})
+	gen.Pool = pool
+	end := rc.Dur.Warmup + rc.Dur.Measure
+	gen.Until = end
+
+	eng := sim.NewEngine()
+	eng.Register(gen)
+	eng.Register(net)
+	return &batchSim{idx: idx, eng: eng, net: net, col: col, run: end, drain: rc.Dur.Drain}
+}
+
+// step advances the simulation one cycle along Run's exact schedule — the
+// fixed run phase, then drain steps each gated on a prior Drained check,
+// mirroring Engine.Run + Engine.RunUntil — and reports false once the
+// simulation has finished (drained, or drain budget exhausted).
+func (s *batchSim) step() bool {
+	if s.run > 0 {
+		s.eng.Step()
+		s.run--
+		return true
+	}
+	if s.drain <= 0 || s.net.Drained() {
+		return false
+	}
+	s.eng.Step()
+	s.drain--
+	return true
+}
+
+// RunBatch executes every configuration with up to width simulations
+// resident at once, advanced in lockstep: each pass of the cycle loop steps
+// every live simulation by one cycle, in input order. A finished simulation
+// retires and its slot back-fills from the remaining configurations, so the
+// window stays full until the tail.
+//
+// Every simulation sees exactly the cycle schedule Run gives it and shares
+// no state with its batch mates, so per-point results are bit-identical to
+// Run (and to RunBatch at any other width). What the batch changes is purely
+// which simulation the process works on from one step to the next: one
+// goroutine drives the whole window instead of a semaphore-throttled
+// goroutine per point. Whether interleaving (width > 1) helps is a cache
+// question — see DefaultBatchWidth.
+func RunBatch(rcs []RunConfig, width int) []*stats.Collector {
+	out := make([]*stats.Collector, len(rcs))
+	if width < 1 {
+		width = 1
+	}
+	live := make([]*batchSim, 0, width)
+	next := 0
+	fill := func() {
+		for len(live) < width && next < len(rcs) {
+			live = append(live, startBatchSim(next, rcs[next]))
+			next++
+		}
+	}
+	for fill(); len(live) > 0; fill() {
+		kept := live[:0]
+		for _, s := range live {
+			if s.step() {
+				kept = append(kept, s)
+				continue
+			}
+			out[s.idx] = s.col
+			s.net.Close()
+		}
+		live = kept
+	}
+	return out
+}

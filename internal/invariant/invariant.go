@@ -123,6 +123,10 @@ type Target struct {
 	Faults *faults.Injector
 	// Telemetry, when attached, is snapshotted into the watchdog dump.
 	Telemetry *telemetry.Collector
+	// Quiesce, when non-nil, audits the tick engine's quiescence machinery
+	// (wake bitmaps, work mirrors, dirty-wire bitmaps) against ground
+	// truth: anything skipped must truly be idle.
+	Quiesce func() error
 }
 
 // Violation is one failed check.
@@ -213,9 +217,20 @@ func (c *Checker) Check(now int64) {
 		c.checkAllocation(now)
 		c.checkMasks(now)
 		c.checkHops(now)
+		c.checkQuiescence(now)
 	}
 	if c.cfg.Watchdog > 0 {
 		c.checkProgress(now)
+	}
+}
+
+// checkQuiescence delegates to the target's engine-level quiescence audit.
+func (c *Checker) checkQuiescence(now int64) {
+	if c.t.Quiesce == nil {
+		return
+	}
+	if err := c.t.Quiesce(); err != nil {
+		c.report(now, "quiescence", "%v", err)
 	}
 }
 

@@ -18,6 +18,7 @@
 package network
 
 import (
+	"math/bits"
 	"sync"
 
 	"rair/internal/faults"
@@ -42,6 +43,12 @@ type routerFlitBinding struct {
 	link *router.Link
 	r    *router.Router
 	dir  topology.Dir // input port at r
+	// foreign marks a wire whose pusher lives on a different shard than
+	// this (owning) shard. Foreign wires carry no dirty-bitmap wake mark
+	// (the pusher must never write another shard's bitmap) and are polled
+	// every cycle from the shard's foreign list instead. Only mesh-boundary
+	// wires between shards are foreign — O(mesh width) of them per shard.
+	foreign bool
 }
 
 type niFlitBinding struct {
@@ -50,9 +57,10 @@ type niFlitBinding struct {
 }
 
 type routerCreditBinding struct {
-	link *router.Link
-	r    *router.Router
-	dir  topology.Dir // output port at r
+	link    *router.Link
+	r       *router.Router
+	dir     topology.Dir // output port at r
+	foreign bool
 }
 
 type niCreditBinding struct {
@@ -78,9 +86,22 @@ type shard struct {
 	rCred []routerCreditBinding
 	nCred []niCreditBinding
 
-	// active is rebuilt every compute phase: the routers that actually
-	// ticked. Drain detection is O(len(active)) instead of O(mesh).
-	active []*router.Router
+	// soa is the shard's dense state store (see router.SoA); lo the first
+	// node id of the shard's contiguous range.
+	soa *router.SoA
+	lo  int
+
+	// Dirty-wire bitmaps, allocated by finalize once all bindings exist.
+	// flitDirty indexes [rFlit | nFlit] (nFlit at offset len(rFlit)),
+	// credDirty indexes [rCred | nCred]. A push onto a shard-local wire
+	// sets its bit through the link's wake mark; the phase-1 sweep clears
+	// a bit once the wire is idle after processing. Cross-shard wires are
+	// kept on the foreign lists and polled unconditionally.
+	flitDirty []uint64
+	credDirty []uint64
+
+	foreignFlit []int32 // rFlit indices fed by another shard
+	foreignCred []int32 // rCred indices fed by another shard
 
 	// ejections buffers OnEject calls made during phase 1 (only allocated
 	// when the network has an OnEject observer).
@@ -111,19 +132,13 @@ type engine struct {
 // newEngine partitions nodes into max(1, workers) contiguous shards (capped
 // at the node count) and starts one persistent worker per shard beyond the
 // first.
-func newEngine(mesh *topology.Mesh, routers []*router.Router, nis []*router.NI, workers int) *engine {
+func newEngine(mesh *topology.Mesh, routers []*router.Router, nis []*router.NI, workers int, soas []*router.SoA) *engine {
 	n := mesh.N()
-	s := workers
-	if s < 1 {
-		s = 1
-	}
-	if s > n {
-		s = n
-	}
+	s := shardCount(n, workers)
 	e := &engine{mesh: mesh, routers: routers, shards: make([]*shard, s)}
 	for i := range e.shards {
 		lo, hi := i*n/s, (i+1)*n/s
-		e.shards[i] = &shard{routers: routers[lo:hi], nis: nis[lo:hi]}
+		e.shards[i] = &shard{routers: routers[lo:hi], nis: nis[lo:hi], soa: soas[i], lo: lo}
 	}
 	if s > 1 {
 		e.cmd = make([]chan enginePhase, s-1)
@@ -134,6 +149,51 @@ func newEngine(mesh *topology.Mesh, routers []*router.Router, nis []*router.NI, 
 		}
 	}
 	return e
+}
+
+// shardCount returns the number of shards a mesh of n nodes is split into
+// for the requested worker count (the partition itself is i*n/s slices).
+func shardCount(n, workers int) int {
+	s := workers
+	if s < 1 {
+		s = 1
+	}
+	if s > n {
+		s = n
+	}
+	return s
+}
+
+// finalize sizes the dirty-wire bitmaps now that every binding exists,
+// attaches each shard-local wire's wake mark, and collects cross-shard
+// wires into the always-polled foreign lists.
+func (e *engine) finalize() {
+	for _, sh := range e.shards {
+		sh.flitDirty = make([]uint64, (len(sh.rFlit)+len(sh.nFlit)+63)/64)
+		sh.credDirty = make([]uint64, (len(sh.rCred)+len(sh.nCred)+63)/64)
+		for i := range sh.rFlit {
+			if sh.rFlit[i].foreign {
+				sh.foreignFlit = append(sh.foreignFlit, int32(i))
+				continue
+			}
+			sh.rFlit[i].link.SetFlitWake(&sh.flitDirty[i>>6], 1<<(uint(i)&63))
+		}
+		for j := range sh.nFlit {
+			i := len(sh.rFlit) + j
+			sh.nFlit[j].link.SetFlitWake(&sh.flitDirty[i>>6], 1<<(uint(i)&63))
+		}
+		for i := range sh.rCred {
+			if sh.rCred[i].foreign {
+				sh.foreignCred = append(sh.foreignCred, int32(i))
+				continue
+			}
+			sh.rCred[i].link.SetCreditWake(&sh.credDirty[i>>6], 1<<(uint(i)&63))
+		}
+		for j := range sh.nCred {
+			i := len(sh.rCred) + j
+			sh.nCred[j].link.SetCreditWake(&sh.credDirty[i>>6], 1<<(uint(i)&63))
+		}
+	}
 }
 
 // shardOf returns the shard owning node id (the inverse of the partition in
@@ -184,12 +244,49 @@ func (e *engine) close() {
 func (e *engine) exec(sh *shard, ph enginePhase) {
 	switch ph {
 	case phaseLinks:
-		// Quiescent wires are skipped before the shift call: an idle
-		// DelayLine cannot deliver and has no pending push, so not shifting
-		// it is exactly equivalent to shifting it (FlitsBusy folds in queued
-		// retransmissions, which must re-enter an otherwise idle wire).
+		// Dirty-wire sweep: only wires with something in flight have their
+		// bit set (pushes set it through the link's wake mark), so quiescent
+		// wires cost nothing — not even the FlitsBusy probe. A bit is
+		// cleared once its wire is idle after processing; retransmission
+		// state keeps a wire busy and therefore dirty. Bits are walked in
+		// ascending index order, which preserves the pre-bitmap processing
+		// order (in particular nFlit ejection order, which statistics
+		// replay depends on). Cross-shard wires are polled from the foreign
+		// lists exactly as before; their deliveries only add to commutative
+		// per-port state, so processing them after the dirty wires of the
+		// same kind cannot change results.
 		now := e.now
-		for _, b := range sh.rFlit {
+		nrf := len(sh.rFlit)
+		for wi, w := range sh.flitDirty {
+			if w == 0 {
+				continue
+			}
+			keep := uint64(0)
+			base := wi << 6
+			for m := w; m != 0; m &= m - 1 {
+				i := base + bits.TrailingZeros64(m)
+				var l *router.Link
+				if i < nrf {
+					b := &sh.rFlit[i]
+					l = b.link
+					if f, ok := l.ShiftFlits(now); ok {
+						b.r.DeliverFlit(b.dir, f)
+					}
+				} else {
+					b := &sh.nFlit[i-nrf]
+					l = b.link
+					if f, ok := l.ShiftFlits(now); ok {
+						b.ni.DeliverFlit(f, now)
+					}
+				}
+				if l.FlitsBusy() {
+					keep |= 1 << (uint(i) & 63)
+				}
+			}
+			sh.flitDirty[wi] = keep
+		}
+		for _, i := range sh.foreignFlit {
+			b := &sh.rFlit[i]
 			if !b.link.FlitsBusy() {
 				continue
 			}
@@ -197,15 +294,37 @@ func (e *engine) exec(sh *shard, ph enginePhase) {
 				b.r.DeliverFlit(b.dir, f)
 			}
 		}
-		for _, b := range sh.nFlit {
-			if !b.link.FlitsBusy() {
+		nrc := len(sh.rCred)
+		for wi, w := range sh.credDirty {
+			if w == 0 {
 				continue
 			}
-			if f, ok := b.link.ShiftFlits(now); ok {
-				b.ni.DeliverFlit(f, now)
+			keep := uint64(0)
+			base := wi << 6
+			for m := w; m != 0; m &= m - 1 {
+				i := base + bits.TrailingZeros64(m)
+				var l *router.Link
+				if i < nrc {
+					b := &sh.rCred[i]
+					l = b.link
+					if vc, ok := l.ShiftCredits(now); ok {
+						b.r.DeliverCredit(b.dir, vc)
+					}
+				} else {
+					b := &sh.nCred[i-nrc]
+					l = b.link
+					if vc, ok := l.ShiftCredits(now); ok {
+						b.ni.DeliverCredit(vc)
+					}
+				}
+				if l.CreditsBusy() {
+					keep |= 1 << (uint(i) & 63)
+				}
 			}
+			sh.credDirty[wi] = keep
 		}
-		for _, b := range sh.rCred {
+		for _, i := range sh.foreignCred {
+			b := &sh.rCred[i]
 			if !b.link.CreditsBusy() {
 				continue
 			}
@@ -213,32 +332,46 @@ func (e *engine) exec(sh *shard, ph enginePhase) {
 				b.r.DeliverCredit(b.dir, vc)
 			}
 		}
-		for _, b := range sh.nCred {
-			if !b.link.CreditsBusy() {
+	case phaseCompute:
+		// Armed-component sweep: a router's wake bit is set by flit arrival
+		// (phase 1, this shard) and cleared here once its work counter hits
+		// zero; an NI's is set at injection. A stalled router keeps its bit
+		// (its work cannot drain while frozen), so fault windows never
+		// detach a busy router from the sweep.
+		now := e.now
+		soa := sh.soa
+		for wi, w := range soa.ArmedR {
+			if w == 0 {
 				continue
 			}
-			if vc, ok := b.link.ShiftCredits(now); ok {
-				b.ni.DeliverCredit(vc)
-			}
-		}
-	case phaseCompute:
-		now := e.now
-		sh.active = sh.active[:0]
-		for _, r := range sh.routers {
-			if r.Active() {
-				// A stalled router's pipeline freezes for the cycle; it
-				// stays in the active set so drain detection still sees
-				// its buffered state.
+			keep := uint64(0)
+			base := wi << 6
+			for m := w; m != 0; m &= m - 1 {
+				li := base + bits.TrailingZeros64(m)
+				r := sh.routers[li]
 				if e.faults == nil || !e.faults.RouterStalled(r.Node(), now) {
 					r.Tick(now)
 				}
-				sh.active = append(sh.active, r)
+				if soa.Work[li] > 0 {
+					keep |= 1 << (uint(li) & 63)
+				}
 			}
+			soa.ArmedR[wi] = keep
 		}
-		for _, ni := range sh.nis {
-			if ni.Active() {
-				ni.Tick(now)
+		for wi, w := range soa.ArmedN {
+			if w == 0 {
+				continue
 			}
+			keep := uint64(0)
+			base := wi << 6
+			for m := w; m != 0; m &= m - 1 {
+				li := base + bits.TrailingZeros64(m)
+				sh.nis[li].Tick(now)
+				if soa.NIWork[li] > 0 {
+					keep |= 1 << (uint(li) & 63)
+				}
+			}
+			soa.ArmedN[wi] = keep
 		}
 	case phaseCongFill:
 		// Every router relays, active or not: congestion values travel one

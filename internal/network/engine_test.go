@@ -111,7 +111,8 @@ func TestEngineShardPartition(t *testing.T) {
 		{16, 1}, {16, 2}, {16, 3}, {16, 5}, {16, 16}, {16, 64}, {9, 2}, {64, 7},
 	} {
 		mesh := topology.NewMesh(tc.nodes, 1)
-		e := newEngine(mesh, make([]*router.Router, tc.nodes), make([]*router.NI, tc.nodes), tc.workers)
+		e := newEngine(mesh, make([]*router.Router, tc.nodes), make([]*router.NI, tc.nodes), tc.workers,
+			make([]*router.SoA, shardCount(tc.nodes, tc.workers)))
 		total := 0
 		for _, sh := range e.shards {
 			total += len(sh.routers)

@@ -137,9 +137,25 @@ func New(p Params) *Network {
 		n.tel = p.Telemetry
 		n.probes = make([]*telemetry.Probe, mesh.N())
 	}
+	// One dense state store per shard: routers and NIs are built as views
+	// into their shard's store (struct-of-arrays slabs + work mirrors).
+	nshards := shardCount(mesh.N(), p.Workers)
+	soas := make([]*router.SoA, nshards)
+	for i := range soas {
+		lo, hi := i*mesh.N()/nshards, (i+1)*mesh.N()/nshards
+		soas[i] = router.NewSoA(p.Router, hi-lo)
+	}
 	for id := 0; id < mesh.N(); id++ {
 		app := p.Regions.AppAt(id)
-		n.routers[id] = router.New(p.Router, id, app, mesh, p.Regions, p.Alg, p.Sel, p.Policy(id, app))
+		si := id * nshards / mesh.N()
+		for si > 0 && id < si*mesh.N()/nshards {
+			si--
+		}
+		for si < nshards-1 && id >= (si+1)*mesh.N()/nshards {
+			si++
+		}
+		li := id - si*mesh.N()/nshards
+		n.routers[id] = router.NewInStore(p.Router, id, app, mesh, p.Regions, p.Alg, p.Sel, p.Policy(id, app), soas[si], li)
 		if n.tel != nil {
 			n.probes[id] = n.tel.ProbeFor(id, app)
 			n.routers[id].SetTelemetry(n.probes[id])
@@ -157,7 +173,7 @@ func New(p Params) *Network {
 			}
 		}
 	}
-	n.eng = newEngine(mesh, n.routers, n.nis, p.Workers)
+	n.eng = newEngine(mesh, n.routers, n.nis, p.Workers, soas)
 	n.eng.faults = n.faults
 	// Inter-router links (one per direction per adjacent pair).
 	for id := 0; id < mesh.N(); id++ {
@@ -184,7 +200,8 @@ func New(p Params) *Network {
 				sh.ejections = append(sh.ejections, ejection{pkt, now})
 			}
 		}
-		ni := router.NewNI(p.Router, id, p.Regions, inj, ej, onEject)
+		ni := router.NewNIInStore(p.Router, id, p.Regions, inj, ej, onEject,
+			n.eng.shardOf(id).soa, id-n.eng.shardOf(id).lo)
 		if n.tel != nil {
 			ni.SetTelemetry(n.probes[id])
 		}
@@ -218,11 +235,13 @@ func New(p Params) *Network {
 		sh.nFlit = append(sh.nFlit, niFlitBinding{link: ej, ni: ni})
 		sh.rCred = append(sh.rCred, routerCreditBinding{link: ej, r: r, dir: topology.Local})
 	}
+	n.eng.finalize()
 	if p.Check != nil {
 		n.check = invariant.NewChecker(*p.Check, invariant.Target{
 			Depth: p.Router.Depth, VCs: p.Router.VCsPerPort(), Mesh: mesh,
 			Routers: n.routers, NIs: n.nis, Links: n.refs,
 			Faults: n.faults, Telemetry: n.tel,
+			Quiesce: n.auditQuiescence,
 		})
 	}
 	if p.Workers > 1 {
@@ -240,10 +259,13 @@ func (n *Network) wire(src int, dir topology.Dir, dst int) {
 	sr, dr := n.routers[src], n.routers[dst]
 	sr.ConnectOut(dir, l)
 	dr.ConnectIn(dir.Opposite(), l)
+	// The flit wire's pusher is src's shard; the credit wire's is dst's. A
+	// wire whose pusher is a different shard than its owner is foreign: it
+	// gets no wake mark and is polled from the owner's foreign list.
 	dsh := n.eng.shardOf(dst)
-	dsh.rFlit = append(dsh.rFlit, routerFlitBinding{link: l, r: dr, dir: dir.Opposite()})
 	ssh := n.eng.shardOf(src)
-	ssh.rCred = append(ssh.rCred, routerCreditBinding{link: l, r: sr, dir: dir})
+	dsh.rFlit = append(dsh.rFlit, routerFlitBinding{link: l, r: dr, dir: dir.Opposite(), foreign: dsh != ssh})
+	ssh.rCred = append(ssh.rCred, routerCreditBinding{link: l, r: sr, dir: dir, foreign: ssh != dsh})
 	if n.faults != nil {
 		ls := n.faults.RegisterLink(faults.LinkKey(src, dst),
 			func(vc int) { sr.DeliverCredit(dir, vc) }, false)
@@ -315,9 +337,11 @@ func (n *Network) Tick(now int64) {
 	// probe is quiescent (its owning shard finished the compute phase), so
 	// the read is race-free and deterministic.
 	if n.tel != nil && n.tel.Advance(now) {
-		for id, r := range n.routers {
-			nat, frn := r.OccupancyByKind()
-			n.probes[id].Sample(now, nat, frn)
+		// A linear sweep over the shard stores' dense occupancy arrays.
+		for _, sh := range n.eng.shards {
+			for j := range sh.routers {
+				n.probes[sh.lo+j].Sample(now, int(sh.soa.NativeOcc[j]), int(sh.soa.ForeignOcc[j]))
+			}
 		}
 	}
 	// Audit the quiescent network. The checker is read-only, so running it
@@ -361,23 +385,97 @@ func (n *Network) BufferedFlits() int {
 	return total
 }
 
-// Drained reports whether nothing is queued, buffered or in flight. It runs
-// in O(active): once no packets are in flight, flits cannot exist anywhere
-// (a flit belongs to an unejected packet), so the only possible residue is
-// buffered state or returning credits at routers that ticked last cycle —
-// exactly the engine's active sets.
+// Drained reports whether nothing is queued, buffered or in flight. Once no
+// packets are in flight, flits cannot exist anywhere (a flit belongs to an
+// unejected packet, by flit conservation), so the only possible residue is
+// credits still traveling upstream — and a credit wire is busy exactly when
+// its dirty bit is set (local wires) or its delay line is occupied (foreign
+// wires), making the check a few word compares per shard.
 func (n *Network) Drained() bool {
 	if n.InFlight() != 0 {
 		return false
 	}
 	for _, sh := range n.eng.shards {
-		for _, r := range sh.active {
-			if r.BufferedFlits() > 0 || r.BusyCreditWires() {
+		for _, w := range sh.credDirty {
+			if w != 0 {
+				return false
+			}
+		}
+		for _, i := range sh.foreignCred {
+			if sh.rCred[i].link.CreditsBusy() {
 				return false
 			}
 		}
 	}
 	return true
+}
+
+// auditQuiescence verifies the wake machinery against ground truth: every
+// component skipped by the armed sweep must be truly quiescent, every work
+// mirror must equal its component's counter sum, and every wire skipped by
+// the dirty sweep must be idle. The invariant checker calls it at tick
+// barriers; it is read-only.
+func (n *Network) auditQuiescence() error {
+	for si, sh := range n.eng.shards {
+		for li, r := range sh.routers {
+			rc, va, act, st := r.WorkCounters()
+			sum := rc + va + act + st
+			if int(sh.soa.Work[li]) != sum {
+				return fmt.Errorf("shard %d router %d: work mirror %d != counter sum %d",
+					si, r.Node(), sh.soa.Work[li], sum)
+			}
+			armed := sh.soa.ArmedRouter(li)
+			if armed != (sum > 0) {
+				return fmt.Errorf("shard %d router %d: armed=%v with work %d", si, r.Node(), armed, sum)
+			}
+			if !armed && r.BufferedFlits() > 0 {
+				return fmt.Errorf("shard %d router %d: skipped with %d buffered flits",
+					si, r.Node(), r.BufferedFlits())
+			}
+		}
+		for li, ni := range sh.nis {
+			q, str, drn := ni.WorkCounters()
+			sum := q + str + drn
+			if int(sh.soa.NIWork[li]) != sum {
+				return fmt.Errorf("shard %d NI %d: work mirror %d != counter sum %d",
+					si, ni.Node(), sh.soa.NIWork[li], sum)
+			}
+			if armed := sh.soa.ArmedNI(li); armed != (sum > 0) {
+				return fmt.Errorf("shard %d NI %d: armed=%v with work %d", si, ni.Node(), armed, sum)
+			}
+		}
+		nrf := len(sh.rFlit)
+		for i := range sh.rFlit {
+			if sh.rFlit[i].foreign {
+				continue
+			}
+			if dirty := sh.flitDirty[i>>6]>>(uint(i)&63)&1 == 1; !dirty && sh.rFlit[i].link.FlitsBusy() {
+				return fmt.Errorf("shard %d: busy flit wire %d not marked dirty", si, i)
+			}
+		}
+		for j := range sh.nFlit {
+			i := nrf + j
+			if dirty := sh.flitDirty[i>>6]>>(uint(i)&63)&1 == 1; !dirty && sh.nFlit[j].link.FlitsBusy() {
+				return fmt.Errorf("shard %d: busy NI flit wire %d not marked dirty", si, j)
+			}
+		}
+		nrc := len(sh.rCred)
+		for i := range sh.rCred {
+			if sh.rCred[i].foreign {
+				continue
+			}
+			if dirty := sh.credDirty[i>>6]>>(uint(i)&63)&1 == 1; !dirty && sh.rCred[i].link.CreditsBusy() {
+				return fmt.Errorf("shard %d: busy credit wire %d not marked dirty", si, i)
+			}
+		}
+		for j := range sh.nCred {
+			i := nrc + j
+			if dirty := sh.credDirty[i>>6]>>(uint(i)&63)&1 == 1; !dirty && sh.nCred[j].link.CreditsBusy() {
+				return fmt.Errorf("shard %d: busy NI credit wire %d not marked dirty", si, j)
+			}
+		}
+	}
+	return nil
 }
 
 // StuckPacket returns a packet that has been inside the network for more

@@ -90,6 +90,27 @@ type Policy interface {
 // id and app its assigned application (or -1).
 type Factory func(node, app int) Policy
 
+// Tabular is an optional Policy facet for policies whose priorities depend
+// only on the requestor's native bit and the VC class — never on packet age
+// or batch. Such policies expose their current priorities as small lookup
+// tables: sa indexed by native (0/1), va by [VCClass][native]. The pointers
+// stay valid for the policy's lifetime; the policy rewrites the table
+// contents whenever its state changes (inside Update, whose effect the
+// router already defers to the next cycle), so the router's arbitration hot
+// path reads two array cells instead of making two interface calls per
+// requestor. Age- and batch-based policies (Rank, Age, DynRank) cannot
+// implement this facet and keep the interface path.
+type Tabular interface {
+	PriorityTables() (sa *[2]int8, va *[3][2]int8)
+}
+
+// flatTables backs every stateless all-zero Tabular policy (read-only).
+var flatSA [2]int8
+var flatVA [3][2]int8
+
+// PriorityTables implements Tabular: all priorities flat.
+func (RoundRobin) PriorityTables() (*[2]int8, *[3][2]int8) { return &flatSA, &flatVA }
+
 // BatchInterval is the default STC batching interval in cycles: packets
 // created in the same interval share a batch, and older batches always
 // outrank younger ones (starvation avoidance). The interval balances two

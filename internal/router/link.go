@@ -22,18 +22,52 @@ import (
 // router and NI on either end never see a faulty event — only delayed
 // delivery.
 type Link struct {
-	flits   *sim.DelayLine[msg.Flit]
-	credits *sim.DelayLine[int]
+	flits   sim.DelayLine[msg.Flit]
+	credits sim.DelayLine[int]
 	faults  *faults.LinkState
+
+	// Wake marks: the tick engine's per-shard dirty-wire bitmaps. A push
+	// onto a wire sets the wire's bit in the bitmap of the shard that owns
+	// (shifts and delivers) it, so quiescent wires are never even visited.
+	// A wire whose pusher lives on a different shard than its owner carries
+	// no mark (the owner polls it instead); both marks are nil outside an
+	// engine (router-level tests drive links directly).
+	flitWake wakeMark
+	credWake wakeMark
+}
+
+// wakeMark addresses one bit of a dirty bitmap.
+type wakeMark struct {
+	word *uint64
+	bit  uint64
+}
+
+func (w wakeMark) set() {
+	if w.word != nil {
+		*w.word |= w.bit
+	}
 }
 
 // NewLink returns a link with the given downstream flit latency.
 func NewLink(latency int) *Link {
-	return &Link{
-		flits:   sim.NewDelayLine[msg.Flit](latency),
-		credits: sim.NewDelayLine[int](1),
-	}
+	l := &Link{}
+	InitLink(l, latency)
+	return l
 }
+
+// InitLink initializes a zero Link in place with the given downstream flit
+// latency; the network uses it to carve links out of a contiguous slab.
+func InitLink(l *Link, latency int) {
+	l.flits.Init(latency)
+	l.credits.Init(1)
+}
+
+// SetFlitWake attaches the dirty-bitmap mark set by SendFlit (nil word
+// detaches: the wire is then polled by its owner instead).
+func (l *Link) SetFlitWake(word *uint64, bit uint64) { l.flitWake = wakeMark{word, bit} }
+
+// SetCreditWake attaches the dirty-bitmap mark set by SendCredit.
+func (l *Link) SetCreditWake(word *uint64, bit uint64) { l.credWake = wakeMark{word, bit} }
 
 // SetFaults attaches fault-injection state; nil detaches it.
 func (l *Link) SetFaults(fs *faults.LinkState) { l.faults = fs }
@@ -110,14 +144,20 @@ func (l *Link) CreditsBusy() bool { return l.credits.Busy() }
 
 // SendFlit pushes a flit downstream. At most one flit per cycle may enter
 // (the link is one flit wide); the router's ST stage guarantees this.
-func (l *Link) SendFlit(f msg.Flit) { l.flits.Push(f) }
+func (l *Link) SendFlit(f msg.Flit) {
+	l.flits.Push(f)
+	l.flitWake.set()
+}
 
 // CanSendFlit reports whether the downstream wire can accept a flit this
 // cycle.
 func (l *Link) CanSendFlit() bool { return l.flits.CanPush() }
 
 // SendCredit pushes a credit for vc upstream.
-func (l *Link) SendCredit(vc int) { l.credits.Push(vc) }
+func (l *Link) SendCredit(vc int) {
+	l.credits.Push(vc)
+	l.credWake.set()
+}
 
 // CanSendCredit reports whether the upstream wire can accept a credit this
 // cycle. One credit per cycle matches one flit dequeued per input port per

@@ -32,6 +32,11 @@ type NI struct {
 	node    int
 	regions *region.Map
 
+	// soa/li: the shard store slot mirroring this NI's activity counter
+	// (soa.NIWork) and wake bit; see Router.soa.
+	soa *SoA
+	li  int
+
 	inj *Link // NI -> router local input port
 	ej  *Link // router local output port -> NI
 
@@ -77,12 +82,20 @@ type stream struct {
 	next int
 }
 
-// NewNI builds the interface for node. onEject is invoked when a packet's
-// tail is consumed (may be nil).
+// NewNI builds the interface for node, backed by a private single-slot
+// store. onEject is invoked when a packet's tail is consumed (may be nil).
 func NewNI(cfg Config, node int, regions *region.Map, inj, ej *Link, onEject func(*msg.Packet, int64)) *NI {
+	return NewNIInStore(cfg, node, regions, inj, ej, onEject, NewSoA(cfg, 1), 0)
+}
+
+// NewNIInStore builds the interface for node as a view over slot li of the
+// shard store soa (shared with the node's router; the NI uses the NIWork
+// mirror and ArmedN wake bitmap).
+func NewNIInStore(cfg Config, node int, regions *region.Map, inj, ej *Link,
+	onEject func(*msg.Packet, int64), soa *SoA, li int) *NI {
 	v := cfg.VCsPerPort()
 	ni := &NI{
-		cfg: cfg, node: node, regions: regions, inj: inj, ej: ej,
+		cfg: cfg, node: node, regions: regions, inj: inj, ej: ej, soa: soa, li: li,
 		queues:     make([]*sim.Queue[*msg.Packet], cfg.Classes),
 		streams:    make([]stream, v),
 		credits:    make([]int, v),
@@ -139,7 +152,19 @@ func (ni *NI) Inject(p *msg.Packet, now int64) {
 	p.InjectedAt = -1
 	ni.queues[p.Class].Push(p)
 	ni.queued++
+	ni.soa.NIWork[ni.li]++
+	ni.soa.armN(ni.li)
 	ni.created++
+}
+
+// Store returns the shard store this NI is a view into and its local index
+// there (engine and audit hooks).
+func (ni *NI) Store() (*SoA, int) { return ni.soa, ni.li }
+
+// WorkCounters returns the individual activity counters; the invariant
+// checker audits their sum against the store's NIWork mirror.
+func (ni *NI) WorkCounters() (queued, streaming, draining int) {
+	return ni.queued, ni.streaming, ni.drainingN
 }
 
 // QueueLen reports the total packets waiting in the source queues.
@@ -218,7 +243,9 @@ func (ni *NI) Tick(now int64) {
 		// Free drained VCs whose credits have all returned.
 		if m := ni.drainMask & ni.fullMask; m != 0 {
 			ni.drainMask &^= m
-			ni.drainingN -= bits.OnesCount64(m)
+			freed := bits.OnesCount64(m)
+			ni.drainingN -= freed
+			ni.soa.NIWork[ni.li] -= int32(freed)
 		}
 	}
 }

@@ -70,15 +70,6 @@ type InputPort struct {
 	occMask    vcMask // VCs with a non-empty flit buffer
 }
 
-func newInputPort(cfg Config, dir topology.Dir, link *Link) *InputPort {
-	v := cfg.VCsPerPort()
-	p := &InputPort{dir: dir, link: link, vcs: make([]inputVC, v)}
-	for i := range p.vcs {
-		p.vcs[i] = inputVC{idx: i, buf: sim.MakeBounded[msg.Flit](cfg.Depth)}
-	}
-	return p
-}
-
 // deliver accepts a flit arriving from the upstream link.
 func (p *InputPort) deliver(f msg.Flit) {
 	vc := &p.vcs[f.VC]
@@ -133,19 +124,6 @@ type OutputPort struct {
 	creditMask vcMask // VCs with at least one downstream credit
 	fullMask   vcMask // VCs with the full credit stock
 	drainMask  vcMask // owned VCs with tail sent, awaiting credit return
-}
-
-func newOutputPort(cfg Config, dir topology.Dir, link *Link, ejection bool) *OutputPort {
-	v := cfg.VCsPerPort()
-	p := &OutputPort{
-		dir: dir, link: link, ejection: ejection, vcs: make([]outputVC, v),
-		creditSum: v * cfg.Depth,
-		freeMask:  allVCs(v), creditMask: allVCs(v), fullMask: allVCs(v),
-	}
-	for i := range p.vcs {
-		p.vcs[i] = outputVC{idx: i, credits: cfg.Depth}
-	}
-	return p
 }
 
 // deliverCredit accepts a returned credit from the downstream router. The

@@ -41,6 +41,18 @@ type Router struct {
 	sel     routing.Selector
 	pol     policy.Policy
 
+	// soa is the shard-owned dense store this router is a view into; li
+	// its local index there. The ports below point into the store's
+	// slabs, and the occupancy/work registers live in its flat arrays.
+	soa *SoA
+	li  int
+
+	// saTab/vaTab are the policy's lookup tables when it implements
+	// policy.Tabular (nil otherwise): priority reads become array cells
+	// instead of interface calls.
+	saTab *[2]int8
+	vaTab *[3][2]int8
+
 	in  [topology.NumDirs]*InputPort
 	out [topology.NumDirs]*OutputPort
 
@@ -76,18 +88,16 @@ type Router struct {
 	// congNext from neighbors each cycle and swaps.
 	cong     [topology.NumDirs][]int
 	congNext [topology.NumDirs][]int
-	occSnap  int
 
 	// Stage population counters let idle routers skip whole pipeline
-	// stages; occupancy counters make the per-cycle DPA update O(1).
-	// stPending counts occupied ST registers; together with the stage
-	// counters it decides whether the router needs to tick at all.
+	// stages; stPending counts occupied ST registers. Their sum is
+	// mirrored into soa.Work at every transition so the engine's armed
+	// sweep never touches the Router struct. The DPA occupancy registers
+	// live in the store (soa.NativeOcc/ForeignOcc).
 	rcCount     int
 	vaCount     int
 	activeCount int
 	stPending   int
-	nativeOcc   int
-	foreignOcc  int
 
 	// freeablePorts marks output ports where a credit arrived or a tail
 	// was sent since the last output-VC release scan; Tick visits only
@@ -105,10 +115,15 @@ type Router struct {
 	// n == 0 marks an unfilled entry (a legal route has ≥ 1 candidate).
 	routes []routeEntry
 
-	// classWindow[c] masks the VC indices of message class c; escapeMask
-	// marks every escape VC. Both pre-compute the VA_in search windows.
-	classWindow []vcMask
-	escapeMask  vcMask
+	// classWindow[c] masks the VC indices of message class c; escapeMask,
+	// globalMask and regionalMask partition the VC indices by kind. All
+	// pre-compute the VA_in search windows: the free-VC choice is then a
+	// preference-ordered sequence of mask intersections instead of a
+	// per-candidate loop.
+	classWindow  []vcMask
+	escapeMask   vcMask
+	globalMask   vcMask
+	regionalMask vcMask
 
 	// flitsSent counts flits pushed onto each output link (utilization
 	// instrumentation).
@@ -124,16 +139,28 @@ type Router struct {
 	now int64
 }
 
-// New creates a router for node (application app, or -1 when unassigned).
-// Links are attached afterwards with ConnectIn/ConnectOut.
+// New creates a router for node (application app, or -1 when unassigned)
+// backed by a private single-slot store. Links are attached afterwards with
+// ConnectIn/ConnectOut.
 func New(cfg Config, node, app int, mesh *topology.Mesh, regions *region.Map,
 	alg routing.Algorithm, sel routing.Selector, pol policy.Policy) *Router {
+	return NewInStore(cfg, node, app, mesh, regions, alg, sel, pol, NewSoA(cfg, 1), 0)
+}
+
+// NewInStore creates a router as a view over slot li of the shard store
+// soa: its ports and VC state are carved from the store's slabs and its
+// work/occupancy registers are the store's flat arrays.
+func NewInStore(cfg Config, node, app int, mesh *topology.Mesh, regions *region.Map,
+	alg routing.Algorithm, sel routing.Selector, pol policy.Policy, soa *SoA, li int) *Router {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	r := &Router{
 		cfg: cfg, node: node, app: app, mesh: mesh, regions: regions,
-		alg: alg, sel: sel, pol: pol,
+		alg: alg, sel: sel, pol: pol, soa: soa, li: li,
+	}
+	if t, ok := pol.(policy.Tabular); ok {
+		r.saTab, r.vaTab = t.PriorityTables()
 	}
 	v := cfg.VCsPerPort()
 	nOut := int(topology.NumDirs) * v
@@ -154,8 +181,13 @@ func New(cfg Config, node, app int, mesh *topology.Mesh, regions *region.Map,
 	r.vcKind = make([]policy.VCClass, v)
 	for i := range r.vcKind {
 		r.vcKind[i] = cfg.KindOf(i)
-		if r.vcKind[i] == policy.VCEscape {
+		switch r.vcKind[i] {
+		case policy.VCEscape:
 			r.escapeMask |= 1 << uint(i)
+		case policy.VCGlobal:
+			r.globalMask |= 1 << uint(i)
+		default:
+			r.regionalMask |= 1 << uint(i)
 		}
 	}
 	r.classWindow = make([]vcMask, cfg.Classes)
@@ -170,8 +202,8 @@ func New(cfg Config, node, app int, mesh *topology.Mesh, regions *region.Map,
 	}
 	rowLen--
 	for d := topology.Dir(0); d < topology.NumDirs; d++ {
-		r.in[d] = newInputPort(cfg, d, nil)
-		r.out[d] = newOutputPort(cfg, d, nil, d == topology.Local)
+		r.in[d] = &soa.Ins[li*int(topology.NumDirs)+int(d)]
+		r.out[d] = &soa.Outs[li*int(topology.NumDirs)+int(d)]
 		r.saInArb[d] = arbiter.NewPrioritized(v)
 		r.saOutArb[d] = arbiter.NewPrioritized(int(topology.NumDirs))
 		r.cong[d] = make([]int, rowLen)
@@ -206,7 +238,17 @@ func (r *Router) SetTelemetry(p *telemetry.Probe) {
 // OccupancyByKind reports the router's DPA occupancy registers: input VCs
 // held by native vs. foreign traffic at the end of the last cycle.
 func (r *Router) OccupancyByKind() (native, foreign int) {
-	return r.nativeOcc, r.foreignOcc
+	return int(r.soa.NativeOcc[r.li]), int(r.soa.ForeignOcc[r.li])
+}
+
+// Store returns the shard store this router is a view into and its local
+// index there (engine and audit hooks).
+func (r *Router) Store() (*SoA, int) { return r.soa, r.li }
+
+// WorkCounters returns the individual stage-population counters; the
+// invariant checker audits their sum against the store's Work mirror.
+func (r *Router) WorkCounters() (rc, va, active, st int) {
+	return r.rcCount, r.vaCount, r.activeCount, r.stPending
 }
 
 // ConnectIn attaches the upstream link feeding the input port at dir.
@@ -221,18 +263,26 @@ func (r *Router) DeliverFlit(dir topology.Dir, f msg.Flit) {
 	r.in[dir].deliver(f)
 	if f.Type.IsHead() {
 		r.rcCount++
-		if r.regions.Native(r.node, f.Pkt.App) {
-			r.nativeOcc++
+		r.soa.Work[r.li]++
+		r.soa.armR(r.li)
+		if r.app >= 0 && f.Pkt.App == r.app {
+			r.soa.NativeOcc[r.li]++
 		} else {
-			r.foreignOcc++
+			r.soa.ForeignOcc[r.li]++
 		}
 	}
 }
 
-// DeliverCredit accepts a credit returned on the output port at dir.
+// DeliverCredit accepts a credit returned on the output port at dir. The
+// port joins the release scan only if something is actually draining there:
+// a credit arriving while drainMask is clear cannot complete an atomic-reuse
+// condition (the tail-send that starts a drain marks the port itself).
 func (r *Router) DeliverCredit(dir topology.Dir, vc int) {
-	r.out[dir].deliverCredit(vc, r.cfg.Depth)
-	r.freeablePorts |= 1 << uint(dir)
+	p := r.out[dir]
+	p.deliverCredit(vc, r.cfg.Depth)
+	if p.drainMask != 0 {
+		r.freeablePorts |= 1 << uint(dir)
+	}
 }
 
 // Active reports whether ticking the router this cycle can have any effect:
@@ -261,7 +311,7 @@ func (r *Router) BusyCreditWires() bool {
 
 // Occupancy reports the occupied-input-VC count at the end of the last
 // cycle.
-func (r *Router) Occupancy() int { return r.occSnap }
+func (r *Router) Occupancy() int { return int(r.soa.OccSnap[r.li]) }
 
 // InPortOccupancy reports the buffered flits at the input port facing
 // direction d: the congestion a packet traveling in direction d meets when
@@ -316,6 +366,31 @@ func (r *Router) Tick(now int64) {
 	r.updatePolicy()
 }
 
+// saPriority returns the policy's SA priority for a packet, through the
+// lookup table when the policy tabulates (bypassing Requestor construction
+// and the interface call).
+func (r *Router) saPriority(p *msg.Packet) int {
+	if t := r.saTab; t != nil {
+		return int(t[b2i(r.app >= 0 && p.App == r.app)])
+	}
+	return r.pol.SAPriority(policy.FromPacket(p, r.app), r.now)
+}
+
+// vaPriority is saPriority's VA_out counterpart.
+func (r *Router) vaPriority(p *msg.Packet, cls policy.VCClass) int {
+	if t := r.vaTab; t != nil {
+		return int(t[cls][b2i(r.app >= 0 && p.App == r.app)])
+	}
+	return r.pol.VAOutPriority(policy.FromPacket(p, r.app), cls, r.now)
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // switchTraversal moves last cycle's SA winners onto their links (ST + LT),
 // visiting only the output ports whose ST register is occupied.
 func (r *Router) switchTraversal() {
@@ -329,6 +404,7 @@ func (r *Router) switchTraversal() {
 			out.link.SendFlit(out.st)
 			out.stValid = false
 			r.stPending--
+			r.soa.Work[r.li]--
 			r.flitsSent[d]++
 			if r.tel != nil {
 				r.tel.LinkFlit()
@@ -401,7 +477,7 @@ func (r *Router) switchAllocation() {
 			for c := elig; c != 0; c &= c - 1 {
 				i := bits.TrailingZeros64(c)
 				r.saReq[i] = true
-				r.saPrio[i] = r.pol.SAPriority(policy.FromPacket(in.vcs[i].owner, r.app), r.now)
+				r.saPrio[i] = r.saPriority(in.vcs[i].owner)
 			}
 			w := r.saInArb[d].Grant(r.saReq[:v], r.saPrio[:v])
 			if w != arbiter.None {
@@ -464,7 +540,7 @@ func (r *Router) switchAllocation() {
 			req := vc2 != nil && vc2.outPort == od
 			r.saOutReq[od][id2] = req
 			if req {
-				r.saOutPri[od][id2] = r.pol.SAPriority(policy.FromPacket(vc2.owner, r.app), r.now)
+				r.saOutPri[od][id2] = r.saPriority(vc2.owner)
 			}
 		}
 		w := r.saOutArb[od].Grant(r.saOutReq[od][:], r.saOutPri[od][:])
@@ -515,6 +591,7 @@ func (r *Router) transfer(inDir topology.Dir, vc *inputVC) {
 	out.st = f
 	out.stValid = true
 	r.stPending++
+	r.soa.Work[r.li]++
 	r.stList = append(r.stList, vc.outPort)
 	if !out.ejection {
 		if ov.credits <= 0 {
@@ -534,10 +611,10 @@ func (r *Router) transfer(inDir topology.Dir, vc *inputVC) {
 		in.link.SendCredit(vc.idx)
 	}
 	if f.Type.IsTail() {
-		if r.regions.Native(r.node, vc.owner.App) {
-			r.nativeOcc--
+		if r.app >= 0 && vc.owner.App == r.app {
+			r.soa.NativeOcc[r.li]--
 		} else {
-			r.foreignOcc--
+			r.soa.ForeignOcc[r.li]--
 		}
 		vc.stage = stageIdle
 		vc.owner = nil
@@ -545,6 +622,7 @@ func (r *Router) transfer(inDir topology.Dir, vc *inputVC) {
 		out.drainMask |= 1 << uint(vc.outVC)
 		r.freeablePorts |= 1 << uint(vc.outPort)
 		r.activeCount--
+		r.soa.Work[r.li]--
 		in.activeMask &^= 1 << uint(vc.idx)
 	}
 }
@@ -574,7 +652,7 @@ func (r *Router) vcAllocation() {
 			r.vaReqN[outGlobal]++
 			r.vaSingle[outGlobal] = inGlobal
 			r.vaReq[outGlobal][inGlobal] = true
-			r.vaPrio[outGlobal][inGlobal] = r.pol.VAOutPriority(policy.FromPacket(vc.owner, r.app), cls, r.now)
+			r.vaPrio[outGlobal][inGlobal] = r.vaPriority(vc.owner, cls)
 		}
 	}
 	for _, og := range r.vaTouched {
@@ -640,47 +718,37 @@ func (r *Router) vaInput(vc *inputVC) (int, policy.VCClass) {
 	// Free-VC search: the candidate window is the intersection of the
 	// port's free-VC mask with the packet class's VC range; escape VCs
 	// are masked out unless the request targets the escape direction.
+	// Within the window, traffic prefers the VC class matching its nature
+	// (global traffic → global VCs), falls back to the other adaptive
+	// class, and takes the escape VC last; any traffic may use any class
+	// (VC regionalization partitions by priority, not by admission —
+	// Section IV.A), so no VC sits idle while traffic waits. Each
+	// preference tier is one mask intersection, lowest index first (the
+	// same VC the old per-candidate minimum scan chose).
 	free := out.freeMask & r.classWindow[pkt.Class]
 	if port != escDir {
 		free &^= r.escapeMask
 	}
-	chosen := -1
-	var chosenCls policy.VCClass
-	bestPref := 3
-	for m := free; m != 0; m &= m - 1 {
-		i := bits.TrailingZeros64(m)
-		cls := r.vcKind[i]
-		pref := r.preference(pkt, cls)
-		if pref < bestPref {
-			bestPref, chosen, chosenCls = pref, i, cls
-		}
-	}
-	if chosen < 0 {
+	if free == 0 {
 		return -1, 0
 	}
-	return int(port)*r.cfg.VCsPerPort() + chosen, chosenCls
-}
-
-// preference orders VA_in's choice among free output VCs: traffic prefers
-// the VC class matching its nature (global traffic → global VCs), falls
-// back to the other adaptive class, and takes the escape VC last. Any
-// traffic may use any class (VC regionalization partitions by priority, not
-// by admission — Section IV.A), so no VC sits idle while traffic waits.
-func (r *Router) preference(pkt *msg.Packet, cls policy.VCClass) int {
-	switch cls {
-	case policy.VCEscape:
-		return 2
-	case policy.VCGlobal:
-		if pkt.Global {
-			return 0
-		}
-		return 1
-	default: // regional
-		if pkt.Global {
-			return 1
-		}
-		return 0
+	first, second := r.regionalMask, r.globalMask
+	firstCls, secondCls := policy.VCRegional, policy.VCGlobal
+	if pkt.Global {
+		first, second = second, first
+		firstCls, secondCls = secondCls, firstCls
 	}
+	var chosen int
+	var chosenCls policy.VCClass
+	switch {
+	case free&first != 0:
+		chosen, chosenCls = bits.TrailingZeros64(free&first), firstCls
+	case free&second != 0:
+		chosen, chosenCls = bits.TrailingZeros64(free&second), secondCls
+	default:
+		chosen, chosenCls = bits.TrailingZeros64(free), policy.VCEscape
+	}
+	return int(port)*r.cfg.VCsPerPort() + chosen, chosenCls
 }
 
 // allocate commits a VA_out grant: output VC og to the input VC with global
@@ -748,8 +816,9 @@ func (r *Router) routeCompute() {
 // just one port). The counts are maintained incrementally at head arrival
 // and tail departure; the policy applies the new state next cycle.
 func (r *Router) updatePolicy() {
-	r.pol.Update(r.nativeOcc, r.foreignOcc)
-	r.occSnap = r.nativeOcc + r.foreignOcc
+	nat, frn := r.soa.NativeOcc[r.li], r.soa.ForeignOcc[r.li]
+	r.pol.Update(int(nat), int(frn))
+	r.soa.OccSnap[r.li] = nat + frn
 	if r.telDPA != nil {
 		if nh := r.telDPA.NativeHigh(); nh != r.telNativeHigh {
 			r.tel.DPATransition(nh)

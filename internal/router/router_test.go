@@ -154,15 +154,15 @@ func TestOccupancyTracking(t *testing.T) {
 	foreignPkt := &msg.Packet{ID: 2, App: 1, Src: 0, Dst: 1, Size: 1, Class: msg.ClassRequest}
 	r.DeliverFlit(topology.Local, headFlit(nativePkt, 1))
 	r.DeliverFlit(topology.West, headFlit(foreignPkt, 1))
-	if r.nativeOcc != 1 || r.foreignOcc != 1 {
-		t.Fatalf("occupancy %d/%d after arrivals", r.nativeOcc, r.foreignOcc)
+	if nat, frn := r.OccupancyByKind(); nat != 1 || frn != 1 {
+		t.Fatalf("occupancy %d/%d after arrivals", nat, frn)
 	}
 	for c := int64(0); c < 10; c++ {
 		east.Shift() // drain the output wire so ST never stalls
 		r.Tick(c)
 	}
-	if r.nativeOcc != 0 || r.foreignOcc != 0 {
-		t.Fatalf("occupancy %d/%d after drain", r.nativeOcc, r.foreignOcc)
+	if nat, frn := r.OccupancyByKind(); nat != 0 || frn != 0 {
+		t.Fatalf("occupancy %d/%d after drain", nat, frn)
 	}
 	if r.BufferedFlits() != 0 {
 		t.Fatal("flits left behind")

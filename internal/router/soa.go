@@ -1,0 +1,125 @@
+package router
+
+import (
+	"math/bits"
+
+	"rair/internal/msg"
+	"rair/internal/sim"
+	"rair/internal/topology"
+)
+
+// SoA is a struct-of-arrays state store shared by a contiguous range of
+// routers and NIs — one per tick-engine shard. The per-component structs
+// (Router, NI) are index-based views into it: their ports, VC state and
+// flit-buffer storage are carved out of the dense slabs below, and the
+// per-cycle activity/occupancy registers live in flat arrays so the engine's
+// armed-component sweep and the telemetry occupancy sample are linear passes
+// over contiguous memory instead of pointer chases through component objects.
+//
+// Indexing is by local index li in [0, N): component li owns
+// Ins[li*NumDirs:(li+1)*NumDirs], its VC slabs, and element li of every flat
+// array. The store itself performs no synchronization: exactly one shard owns
+// it, and the engine's barrier phases serialize all access.
+type SoA struct {
+	cfg Config
+	n   int
+
+	// Work[li] mirrors router li's pipeline population
+	// (rcCount+vaCount+activeCount+stPending); NIWork[li] mirrors NI li's
+	// (queued+streaming+draining). The engine skips any component whose
+	// entry is zero, and the invariant checker audits the mirrors against
+	// the component counters.
+	Work   []int32
+	NIWork []int32
+
+	// ArmedR/ArmedN are the wake bitmaps: bit li set iff Work[li] > 0
+	// (resp. NIWork[li] > 0). Flit arrival and injection set bits; the
+	// engine clears a bit once the component's work counter reaches zero
+	// after a tick.
+	ArmedR []uint64
+	ArmedN []uint64
+
+	// DPA occupancy registers and the end-of-cycle snapshot, per router.
+	NativeOcc  []int32
+	ForeignOcc []int32
+	OccSnap    []int32
+
+	// Dense component slabs.
+	Ins     []InputPort
+	Outs    []OutputPort
+	inVCs   []inputVC
+	outVCs  []outputVC
+	flitBuf []msg.Flit
+}
+
+// NewSoA returns a store for n routers/NIs sharing one configuration.
+func NewSoA(cfg Config, n int) *SoA {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	v := cfg.VCsPerPort()
+	nd := int(topology.NumDirs)
+	words := (n + 63) / 64
+	s := &SoA{
+		cfg: cfg, n: n,
+		Work:       make([]int32, n),
+		NIWork:     make([]int32, n),
+		ArmedR:     make([]uint64, words),
+		ArmedN:     make([]uint64, words),
+		NativeOcc:  make([]int32, n),
+		ForeignOcc: make([]int32, n),
+		OccSnap:    make([]int32, n),
+		Ins:        make([]InputPort, n*nd),
+		Outs:       make([]OutputPort, n*nd),
+		inVCs:      make([]inputVC, n*nd*v),
+		outVCs:     make([]outputVC, n*nd*v),
+		flitBuf:    make([]msg.Flit, n*nd*v*cfg.Depth),
+	}
+	for li := 0; li < n; li++ {
+		for d := 0; d < nd; d++ {
+			p := li*nd + d
+			ivcs := s.inVCs[p*v : (p+1)*v : (p+1)*v]
+			for i := range ivcs {
+				buf := s.flitBuf[(p*v+i)*cfg.Depth : (p*v+i+1)*cfg.Depth : (p*v+i+1)*cfg.Depth]
+				ivcs[i] = inputVC{idx: i, buf: sim.BoundedOver(buf)}
+			}
+			s.Ins[p] = InputPort{dir: topology.Dir(d), vcs: ivcs}
+			ovcs := s.outVCs[p*v : (p+1)*v : (p+1)*v]
+			for i := range ovcs {
+				ovcs[i] = outputVC{idx: i, credits: cfg.Depth}
+			}
+			s.Outs[p] = OutputPort{
+				dir: topology.Dir(d), ejection: topology.Dir(d) == topology.Local,
+				vcs: ovcs, creditSum: v * cfg.Depth,
+				freeMask: allVCs(v), creditMask: allVCs(v), fullMask: allVCs(v),
+			}
+		}
+	}
+	return s
+}
+
+// N reports the number of component slots in the store.
+func (s *SoA) N() int { return s.n }
+
+// armR marks router li armed (its Work just became nonzero).
+func (s *SoA) armR(li int) { s.ArmedR[uint(li)>>6] |= 1 << (uint(li) & 63) }
+
+// armN marks NI li armed.
+func (s *SoA) armN(li int) { s.ArmedN[uint(li)>>6] |= 1 << (uint(li) & 63) }
+
+// ArmedRouter reports whether router li's wake bit is set (audit hook).
+func (s *SoA) ArmedRouter(li int) bool { return s.ArmedR[uint(li)>>6]>>(uint(li)&63)&1 == 1 }
+
+// ArmedNI reports whether NI li's wake bit is set (audit hook).
+func (s *SoA) ArmedNI(li int) bool { return s.ArmedN[uint(li)>>6]>>(uint(li)&63)&1 == 1 }
+
+// ArmedCount reports the set bits in both wake bitmaps (benchmark hook).
+func (s *SoA) ArmedCount() (routers, nis int) {
+	for _, w := range s.ArmedR {
+		routers += bits.OnesCount64(w)
+	}
+	for _, w := range s.ArmedN {
+		nis += bits.OnesCount64(w)
+	}
+	return
+}

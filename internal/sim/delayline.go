@@ -16,6 +16,15 @@ type DelayLine[T any] struct {
 	tail   int // entry register: index pushes land in
 	count  int
 	pushed bool // guards one-push-per-cycle
+	full   bool // shadows slots[tail].valid so CanPush reads no slot memory
+
+	// arr is inline ring storage: lines of latency <= len(arr) point slots
+	// at it, so short wires (the common case — credit wires are latency 1,
+	// flit wires default to 2) live in the same cache lines as the header
+	// and cost no separate allocation. Because slots then aliases arr, an
+	// initialized DelayLine must never be copied by value; Init only runs
+	// against the line's final address.
+	arr [4]slot[T]
 }
 
 type slot[T any] struct {
@@ -25,10 +34,24 @@ type slot[T any] struct {
 
 // NewDelayLine returns a line of the given latency (>= 1).
 func NewDelayLine[T any](latency int) *DelayLine[T] {
+	d := &DelayLine[T]{}
+	d.Init(latency)
+	return d
+}
+
+// Init initializes d in place with the given latency (>= 1), using the
+// inline ring when the latency fits. d must already sit at its final
+// address and must not be copied afterwards.
+func (d *DelayLine[T]) Init(latency int) {
 	if latency < 1 {
 		panic("sim: DelayLine latency must be >= 1")
 	}
-	return &DelayLine[T]{slots: make([]slot[T], latency), tail: latency - 1}
+	*d = DelayLine[T]{tail: latency - 1}
+	if latency <= len(d.arr) {
+		d.slots = d.arr[:latency:latency]
+	} else {
+		d.slots = make([]slot[T], latency)
+	}
 }
 
 // Latency reports the configured latency in cycles.
@@ -40,7 +63,7 @@ func (d *DelayLine[T]) Busy() bool { return d.count > 0 }
 // CanPush reports whether a value may enter this cycle (one per cycle, and
 // the entry register must be free).
 func (d *DelayLine[T]) CanPush() bool {
-	return !d.pushed && !d.slots[d.tail].valid
+	return !d.pushed && !d.full
 }
 
 // Push inserts v at the entry register. It panics if CanPush is false.
@@ -51,6 +74,7 @@ func (d *DelayLine[T]) Push(v T) {
 	d.slots[d.tail] = slot[T]{v: v, valid: true}
 	d.count++
 	d.pushed = true
+	d.full = true
 }
 
 // Shift advances the line one cycle and returns the value (if any) that has
@@ -61,7 +85,9 @@ func (d *DelayLine[T]) Shift() (v T, ok bool) {
 	out := d.slots[d.head]
 	var zero slot[T]
 	d.slots[d.head] = zero
+	// The new entry register is the just-vacated head slot.
 	d.tail = d.head
+	d.full = false
 	if d.head++; d.head == len(d.slots) {
 		d.head = 0
 	}
@@ -95,5 +121,6 @@ func (d *DelayLine[T]) Drain() int {
 	}
 	d.count = 0
 	d.pushed = false
+	d.full = false
 	return n
 }

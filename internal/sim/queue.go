@@ -118,6 +118,16 @@ func MakeBounded[T any](depth int) Bounded[T] {
 	return Bounded[T]{buf: make([]T, depth)}
 }
 
+// BoundedOver returns a ring whose element storage is the caller-supplied
+// slice (len(buf) slots). The network uses it to carve every VC flit buffer
+// out of one contiguous per-shard slab.
+func BoundedOver[T any](buf []T) Bounded[T] {
+	if len(buf) < 1 {
+		panic("sim: Bounded depth must be >= 1")
+	}
+	return Bounded[T]{buf: buf}
+}
+
 // Cap reports the fixed capacity.
 func (b *Bounded[T]) Cap() int { return len(b.buf) }
 

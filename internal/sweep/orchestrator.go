@@ -17,6 +17,14 @@ type Runner func(ctx context.Context, job Job) (text, csv string, err error)
 type Options struct {
 	// Workers bounds concurrently executing jobs (<= 0 means 1).
 	Workers int
+	// BatchWidth groups up to this many consecutive jobs of the same
+	// experiment (a manifest's seed axis) into one dispatch unit, executed
+	// back-to-back on one worker. The runner itself batches replications
+	// in lockstep (harness.RunBatch), so keeping a seed axis on one worker
+	// extends that warmth across jobs instead of interleaving unrelated
+	// experiments. <= 1 disables grouping. Results are identical either
+	// way — grouping only changes scheduling.
+	BatchWidth int
 	// Timeout bounds one job attempt (0 = no limit). A timed-out attempt
 	// counts as a transient failure and is retried.
 	Timeout time.Duration
@@ -84,6 +92,25 @@ func Execute(ctx context.Context, m *Manifest, store *Store, done map[string]boo
 		return sum, nil
 	}
 
+	// Group consecutive same-experiment jobs (the seed axis) into dispatch
+	// units of at most BatchWidth; each unit runs back-to-back on one
+	// worker. groups holds start indices into pending, ascending.
+	width := opts.BatchWidth
+	if width < 1 {
+		width = 1
+	}
+	var groups []int
+	for pos := 0; pos < len(pending); {
+		groups = append(groups, pos)
+		end := pos + 1
+		for end < len(pending) && end-pos < width &&
+			pending[end].job.Experiment == pending[pos].job.Experiment &&
+			pending[end].job.Quick == pending[pos].job.Quick {
+			end++
+		}
+		pos = end
+	}
+
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -94,28 +121,40 @@ func Execute(ctx context.Context, m *Manifest, store *Store, done map[string]boo
 		attempts int
 	}
 	results := make(chan result)
-	feed := make(chan int) // index into pending
+	feed := make(chan int) // index into groups
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for pos := range feed {
-				t := pending[pos]
-				rec, attempts, err := runWithRetry(ctx, t.job, run, opts, logf)
-				select {
-				case results <- result{pos, rec, err, attempts}:
-				case <-ctx.Done():
-					return
+			for gi := range feed {
+				start := groups[gi]
+				end := len(pending)
+				if gi+1 < len(groups) {
+					end = groups[gi+1]
+				}
+				for pos := start; pos < end; pos++ {
+					t := pending[pos]
+					rec, attempts, err := runWithRetry(ctx, t.job, run, opts, logf)
+					select {
+					case results <- result{pos, rec, err, attempts}:
+					case <-ctx.Done():
+						return
+					}
+					if err != nil {
+						// The sequencer is about to cancel the sweep; the
+						// rest of the group would be dropped anyway.
+						return
+					}
 				}
 			}
 		}()
 	}
 	go func() {
 		defer close(feed)
-		for pos := range pending {
+		for gi := range groups {
 			select {
-			case feed <- pos:
+			case feed <- gi:
 			case <-ctx.Done():
 				return
 			}

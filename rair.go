@@ -660,3 +660,65 @@ func (s *Simulation) Run(ph Phases) (*Report, error) {
 	}
 	return rep, nil
 }
+
+// BatchResult summarizes one replication of RunBatch.
+type BatchResult struct {
+	Seed    uint64
+	Packets int64
+	APL     float64
+	P99     float64
+}
+
+// RunBatch executes the simulation's scenario once per seed, keeping up to
+// width replications resident and advancing them in lockstep (one pass of
+// the cycle loop steps every live replication by one cycle). Results are
+// bit-identical to running each seed through Run; the lockstep only changes
+// the order the process visits the replications in, which keeps the
+// instruction cache warm across a seed axis. See internal/harness.RunBatch
+// for the scheduling contract.
+//
+// Only plain synthetic-traffic simulations batch: PARSEC workloads,
+// adversarial traffic, routing overrides, telemetry, fault injection and
+// invariant collection all carry per-run state the batch runner does not
+// thread through, and are rejected.
+func (s *Simulation) RunBatch(ph Phases, seeds []uint64, width int) ([]BatchResult, error) {
+	if ph.Warmup < 0 || ph.Measure <= 0 {
+		return nil, fmt.Errorf("rair: need a positive measurement window")
+	}
+	if len(s.apps) == 0 {
+		return nil, fmt.Errorf("rair: no traffic attached (AddApp)")
+	}
+	if s.parsec || s.adversary > 0 || s.alg != nil ||
+		s.cfg.Telemetry || s.cfg.Faults != nil || s.cfg.CheckInvariants {
+		return nil, fmt.Errorf("rair: RunBatch supports only plain synthetic-traffic simulations")
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("rair: RunBatch needs at least one seed")
+	}
+	rcs := make([]harness.RunConfig, len(seeds))
+	for i, seed := range seeds {
+		if seed == 0 {
+			return nil, fmt.Errorf("rair: RunBatch seeds must be >= 1")
+		}
+		rcs[i] = harness.RunConfig{
+			Regions: s.regions,
+			Router:  s.rcfg,
+			Apps:    s.apps,
+			Scheme:  s.scheme,
+			Dur:     harness.Durations{Warmup: ph.Warmup, Measure: ph.Measure, Drain: ph.Drain},
+			Seed:    seed,
+			Workers: s.cfg.Workers,
+		}
+	}
+	cols := harness.RunBatch(rcs, width)
+	out := make([]BatchResult, len(seeds))
+	for i, col := range cols {
+		out[i] = BatchResult{
+			Seed:    seeds[i],
+			Packets: col.Packets(),
+			APL:     col.APL(),
+			P99:     col.Total().Percentile(99),
+		}
+	}
+	return out, nil
+}
