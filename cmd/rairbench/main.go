@@ -26,6 +26,7 @@ import (
 
 	"rair"
 	"rair/internal/harness"
+	"rair/internal/obs"
 	"rair/internal/sweep"
 )
 
@@ -163,15 +164,67 @@ func throughputBatched(width int) float64 {
 	return float64(width) * cycles / time.Since(start).Seconds()
 }
 
+// obsOpts carries the observability-export flags into the probe runs:
+// a live /metrics address and/or a one-shot snapshot path. Either one turns
+// on interference attribution and engine self-profiling for the run.
+type obsOpts struct{ addr, report string }
+
+func (o obsOpts) enabled() bool { return o.addr != "" || o.report != "" }
+
+// arm enables the attribution and profiling layers on cfg when any
+// observability export was requested.
+func (o obsOpts) arm(cfg *rair.Config) {
+	if o.enabled() {
+		cfg.Attribution = true
+		cfg.Profile = true
+	}
+}
+
+// attach starts the live endpoint (when requested) on a built simulation;
+// the returned cleanup is always safe to defer.
+func (o obsOpts) attach(sim *rair.Simulation) (func(), error) {
+	if o.addr == "" {
+		return func() {}, nil
+	}
+	srv, err := obs.NewServer(o.addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "rairbench: serving http://%s/metrics and /snapshot\n", srv.Addr())
+	sim.SetObsServer(srv, 256)
+	return func() { srv.Close() }, nil
+}
+
+// dump writes the one-shot snapshot (when requested) from a finished run.
+func (o obsOpts) dump(rep *rair.Report) error {
+	if o.report == "" {
+		return nil
+	}
+	snap := &obs.Snapshot{Engine: rep.Engine}
+	if tel := rep.Telemetry; tel != nil {
+		t := tel.Totals()
+		snap.Totals = &t
+		snap.Attribution = tel.Attribution()
+		snap.Cycle = tel.Now()
+	}
+	if err := snap.WriteFile(o.report); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", o.report)
+	return nil
+}
+
 // telemetryRun executes the standard throughput probe scenario with
 // telemetry enabled and writes the aggregated report to path (JSON). The
 // RAIR scheme with cross-region traffic exercises every counter family:
 // MSP grants/denials, DPA transitions and windowed OVC_f/OVC_n samples.
-func telemetryRun(path string, quick bool, seed uint64, traceEvery uint64) error {
-	sim, err := rair.New(rair.Config{
+func telemetryRun(path string, quick bool, seed uint64, traceEvery uint64, ob obsOpts) error {
+	cfg := rair.Config{
 		Layout: rair.LayoutQuadrants, Scheme: "RA_RAIR", Seed: seed,
 		Telemetry: true, TelemetryTraceEvery: traceEvery,
-	})
+	}
+	ob.arm(&cfg)
+	sim, err := rair.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -180,12 +233,20 @@ func telemetryRun(path string, quick bool, seed uint64, traceEvery uint64) error
 			return err
 		}
 	}
+	cleanup, err := ob.attach(sim)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
 	ph := rair.PaperPhases()
 	if quick {
 		ph = rair.QuickPhases()
 	}
 	rep, err := sim.Run(ph)
 	if err != nil {
+		return err
+	}
+	if err := ob.dump(rep); err != nil {
 		return err
 	}
 	f, err := os.Create(path)
@@ -208,7 +269,7 @@ func telemetryRun(path string, quick bool, seed uint64, traceEvery uint64) error
 // proving the network drains, delivers every packet and passes every
 // invariant while links drop, corrupt and leak and routers stall. CI uses
 // it as the fault-injection smoke job.
-func faultRun(spec string, quick bool, seed uint64) error {
+func faultRun(spec string, quick bool, seed uint64, ob obsOpts) error {
 	var fs *rair.FaultSpec
 	if spec != "" {
 		var err error
@@ -216,10 +277,12 @@ func faultRun(spec string, quick bool, seed uint64) error {
 			return err
 		}
 	}
-	sim, err := rair.New(rair.Config{
+	cfg := rair.Config{
 		Layout: rair.LayoutQuadrants, Scheme: "RA_RAIR", Seed: seed,
 		Faults: fs, CheckInvariants: true,
-	})
+	}
+	ob.arm(&cfg)
+	sim, err := rair.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -228,12 +291,20 @@ func faultRun(spec string, quick bool, seed uint64) error {
 			return err
 		}
 	}
+	cleanup, err := ob.attach(sim)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
 	ph := rair.PaperPhases()
 	if quick {
 		ph = rair.QuickPhases()
 	}
 	rep, err := sim.Run(ph)
 	if err != nil {
+		return err
+	}
+	if err := ob.dump(rep); err != nil {
 		return err
 	}
 	if rep.Faults != nil {
@@ -331,11 +402,17 @@ func main() {
 	checkInv := flag.Bool("check-invariants", false, "run only the invariant-checked probe scenario (no experiments); combine with -faults for the fault smoke")
 	emitManifest := flag.String("emit-manifest", "", "write a rairsweep manifest covering the known experiments (honors -quick, -experiment, -manifest-seeds) to this path and exit")
 	manifestSeeds := flag.String("manifest-seeds", "1", "comma-separated seed list for -emit-manifest")
+	metricsAddr := flag.String("metrics-addr", "", "serve live /metrics and /snapshot during the probe run (with -telemetry, -faults or -check-invariants)")
+	obsReport := flag.String("obs-report", "", "write the probe run's observability snapshot to this path, .json or .csv (implies -telemetry unless a fault/invariant probe is selected)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "rairbench: unexpected arguments: %v\n", flag.Args())
 		flag.Usage()
 		os.Exit(2)
+	}
+	ob := obsOpts{addr: *metricsAddr, report: *obsReport}
+	if ob.enabled() && *faultSpec == "" && !*checkInv {
+		*telemetry = true
 	}
 
 	if *emitManifest != "" {
@@ -347,7 +424,7 @@ func main() {
 	}
 
 	if *faultSpec != "" || *checkInv {
-		if err := faultRun(*faultSpec, *quick, *seed); err != nil {
+		if err := faultRun(*faultSpec, *quick, *seed, ob); err != nil {
 			fmt.Fprintln(os.Stderr, "rairbench:", err)
 			os.Exit(1)
 		}
@@ -423,7 +500,7 @@ func main() {
 		}
 	}
 	if *telemetry {
-		if err := telemetryRun(*telOut, *quick, *seed, *telTrace); err != nil {
+		if err := telemetryRun(*telOut, *quick, *seed, *telTrace, ob); err != nil {
 			fmt.Fprintln(os.Stderr, "rairbench:", err)
 			os.Exit(1)
 		}

@@ -25,6 +25,14 @@
 // reconciliation, transient router stalls); the report then carries a fault
 // summary. -check-invariants runs the runtime invariant checker at every
 // cycle and fails the run on any violation. See DESIGN.md for both.
+//
+// Observability (DESIGN.md "Observability"): -attribution turns on the
+// interference blame accountant, decomposing each packet's latency into
+// native / foreign-region / escape-VC / fault stall cycles;
+// -metrics-addr HOST:PORT serves live Prometheus text at /metrics and a
+// JSON snapshot at /snapshot while the run is in flight; -obs-report PATH
+// dumps the final snapshot to PATH (.json or .csv). The latter two imply
+// -attribution and engine self-profiling.
 package main
 
 import (
@@ -37,6 +45,7 @@ import (
 
 	"rair"
 	"rair/internal/config"
+	"rair/internal/obs"
 )
 
 const example = `{
@@ -52,6 +61,27 @@ const example = `{
   "phases": {"warmup": 10000, "measure": 100000, "drain": 20000}
 }`
 
+// usage prints the command summary and flag reference to stderr; it is
+// installed as flag.Usage so unknown flags exit non-zero with the same text.
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: rairsim -f sim.json [flags]
+
+Run one NoC simulation described by a JSON file and print its latency
+report.
+
+  rairsim -example                  print an example configuration
+  rairsim -f sim.json -telemetry -telemetry-out tel.json
+  rairsim -f sim.json -attribution -obs-report obs.json
+  rairsim -f sim.json -metrics-addr localhost:9464
+                                    serve live /metrics (Prometheus text)
+                                    and /snapshot (JSON) during the run
+  rairsim -f sim.json -faults drop=0.001,corrupt=0.001 -check-invariants
+
+Flags:
+`)
+	flag.PrintDefaults()
+}
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "rairsim:", err)
@@ -60,6 +90,7 @@ func main() {
 }
 
 func run() error {
+	flag.Usage = usage
 	file := flag.String("f", "", "simulation description (JSON)")
 	showExample := flag.Bool("example", false, "print an example configuration and exit")
 	telemetry := flag.Bool("telemetry", false, "collect per-router telemetry (counters + windowed series)")
@@ -70,7 +101,17 @@ func run() error {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this path")
 	faultSpec := flag.String("faults", "", "inject deterministic faults, e.g. drop=0.001,corrupt=0.001,leak=0.0005,stall=0.0002")
 	checkInv := flag.Bool("check-invariants", false, "run the runtime invariant checker at every cycle")
+	attribution := flag.Bool("attribution", false, "enable the interference blame accountant (implies -telemetry collection)")
+	profile := flag.Bool("profile", false, "enable tick-engine self-profiling (phase timings, barrier waits, quiescence)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live /metrics and /snapshot on this address during the run (implies -attribution -profile)")
+	metricsEvery := flag.Int64("metrics-every", 256, "publish a fresh snapshot to -metrics-addr every N cycles")
+	obsReport := flag.String("obs-report", "", "write the final observability snapshot to this path, .json or .csv (implies -attribution -profile)")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "rairsim: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if *showExample {
 		fmt.Println(example)
@@ -78,17 +119,24 @@ func run() error {
 	}
 	if *file == "" {
 		fmt.Fprintln(os.Stderr, "rairsim: -f <file.json> required (see -example)")
+		flag.Usage()
 		os.Exit(2)
 	}
 	f, err := config.Load(*file)
 	if err != nil {
 		return err
 	}
+	if *metricsAddr != "" || *obsReport != "" {
+		*attribution = true
+		*profile = true
+	}
 	if *telemetry || *telTrace > 0 {
 		f.Config.Telemetry = true
 		f.Config.TelemetryWindow = *telWindow
 		f.Config.TelemetryTraceEvery = *telTrace
 	}
+	f.Config.Attribution = f.Config.Attribution || *attribution
+	f.Config.Profile = f.Config.Profile || *profile
 	if *faultSpec != "" {
 		fs, err := rair.ParseFaultSpec(*faultSpec)
 		if err != nil {
@@ -112,13 +160,34 @@ func run() error {
 		defer pprof.StopCPUProfile()
 	}
 
-	rep, err := f.Run()
+	sim, err := f.Build()
+	if err != nil {
+		return err
+	}
+	var srv *obs.Server
+	if *metricsAddr != "" {
+		srv, err = obs.NewServer(*metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "rairsim: serving http://%s/metrics and /snapshot\n", srv.Addr())
+		sim.SetObsServer(srv, *metricsEvery)
+	}
+	rep, err := sim.Run(rair.Phases{
+		Warmup: f.Phases.Warmup, Measure: f.Phases.Measure, Drain: f.Phases.Drain,
+	})
 	if err != nil {
 		return err
 	}
 	fmt.Print(rep)
 	if rep.Faults != nil {
 		fmt.Println(rep.Faults)
+	}
+	if *obsReport != "" {
+		if err := writeObsReport(rep, *obsReport); err != nil {
+			return err
+		}
 	}
 	if f.Config.CheckInvariants {
 		fmt.Println("invariants: all checks passed")
@@ -136,7 +205,10 @@ func run() error {
 		}
 	}
 
-	if rep.Telemetry == nil {
+	// The telemetry file is tied to the explicit telemetry flags:
+	// -attribution alone creates a collector (the accountant lives in it)
+	// but should not surprise the user with a telemetry.json.
+	if rep.Telemetry == nil || !f.Config.Telemetry {
 		return nil
 	}
 	if err := writeTelemetry(rep, *telOut); err != nil {
@@ -154,6 +226,23 @@ func run() error {
 		}
 		fmt.Printf("wrote %s (open in chrome://tracing or ui.perfetto.dev)\n", tracePath)
 	}
+	return nil
+}
+
+// writeObsReport dumps the run's final observability snapshot as JSON, or
+// flat CSV when the path ends in .csv.
+func writeObsReport(rep *rair.Report, path string) error {
+	snap := &obs.Snapshot{Engine: rep.Engine}
+	if tel := rep.Telemetry; tel != nil {
+		t := tel.Totals()
+		snap.Totals = &t
+		snap.Attribution = tel.Attribution()
+		snap.Cycle = tel.Now()
+	}
+	if err := snap.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
 	return nil
 }
 

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"rair/internal/harness"
@@ -139,39 +140,58 @@ func replay(args []string) {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	schemeName := fs.String("scheme", "RO_RR", "interference-reduction scheme")
 	warmup := fs.Int64("warmup", 10000, "warmup cycles excluded from statistics")
+	drainTimeout := fs.Int64("drain-timeout", 200000, "extra cycles past the trace end before an undrained replay aborts")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
 	}
 	t := readTrace(fs.Arg(0))
-	s, err := harness.SchemeByName(*schemeName)
-	if err != nil {
+	// A timed-out drain means packets never arrived — a failed replay, so
+	// it must exit non-zero for scripts and CI, not just warn.
+	if err := replayTrace(os.Stdout, t, *schemeName, *warmup, *drainTimeout); err != nil {
 		fatal(err)
+	}
+}
+
+// replayTrace replays t under the named scheme, printing the latency
+// summary to w. It returns an error when the network fails to drain within
+// drainTimeout cycles past the trace end (undelivered packets).
+func replayTrace(w io.Writer, t *trace.Trace, schemeName string, warmup, drainTimeout int64) error {
+	s, err := harness.SchemeByName(schemeName)
+	if err != nil {
+		return err
 	}
 	regs, _ := harness.PARSECScenario()
 	cfg := harness.MemsysRouterConfig()
-	col := stats.NewCollector(*warmup, t.Duration())
+	col := stats.NewCollector(warmup, t.Duration())
 	net := network.New(network.Params{
 		Router: cfg, Regions: regs,
 		Alg: s.Alg(regs.Mesh()), Sel: s.Sel(regs, cfg), Policy: s.Policy,
 		OnEject: col.OnEject,
 	})
+	defer net.Close()
 	player := trace.NewPlayer(t, func(node int, p *msg.Packet, now int64) {
 		net.NI(node).Inject(p, now)
 	})
 	now := int64(0)
+	timedOut := false
 	for ; !player.Done() || !net.Drained(); now++ {
 		player.Tick(now)
 		net.Tick(now)
-		if now > t.Duration()+200000 {
-			fmt.Fprintln(os.Stderr, "rairtrace: drain timeout")
+		if now > t.Duration()+drainTimeout {
+			timedOut = true
 			break
 		}
 	}
-	fmt.Printf("replayed %d packets under %s in %d cycles\n", player.Injected(), s.Name, now)
-	fmt.Printf("APL %.2f (p95 %.1f) over %d measured packets\n",
+	fmt.Fprintf(w, "replayed %d packets under %s in %d cycles\n", player.Injected(), s.Name, now)
+	fmt.Fprintf(w, "APL %.2f (p95 %.1f) over %d measured packets\n",
 		col.APL(), col.Total().Percentile(95), col.Packets())
 	for _, app := range col.Apps() {
-		fmt.Printf("  app %d: APL %.2f (%d packets)\n", app, col.App(app).Mean(), col.App(app).Count())
+		fmt.Fprintf(w, "  app %d: APL %.2f (%d packets)\n", app, col.App(app).Mean(), col.App(app).Count())
 	}
+	if timedOut {
+		return fmt.Errorf("drain timeout: network still undrained %d cycles past the trace end (%d packets injected, %d delivered in the measurement window)",
+			drainTimeout, player.Injected(), col.Packets())
+	}
+	return nil
 }

@@ -78,6 +78,33 @@ func (s *batchSim) step() bool {
 	return true
 }
 
+// BatchStats describes how one RunBatch execution used its lockstep window:
+// how many cycle-loop passes ran, how many per-simulation steps they
+// executed, and the window-occupancy histogram. It is pure scheduler
+// observation — recording it cannot influence any simulation.
+type BatchStats struct {
+	// Width is the requested window width; Sims the configurations run.
+	Width int `json:"width"`
+	Sims  int `json:"sims"`
+	// Passes counts cycle-loop passes; Steps the individual simulation
+	// steps those passes executed (Steps/Passes is the mean occupancy).
+	Passes int64 `json:"passes"`
+	Steps  int64 `json:"steps"`
+	// Occupancy[k] counts passes that stepped exactly k live simulations
+	// (k from 1 to Width; index 0 is never hit — an empty window ends the
+	// loop). The tail of a batch shows up as mass below Width.
+	Occupancy []int64 `json:"occupancy"`
+}
+
+// MeanOccupancy is the average live-window size across passes (0 when no
+// pass ran).
+func (b *BatchStats) MeanOccupancy() float64 {
+	if b == nil || b.Passes == 0 {
+		return 0
+	}
+	return float64(b.Steps) / float64(b.Passes)
+}
+
 // RunBatch executes every configuration with up to width simulations
 // resident at once, advanced in lockstep: each pass of the cycle loop steps
 // every live simulation by one cycle, in input order. A finished simulation
@@ -92,10 +119,19 @@ func (s *batchSim) step() bool {
 // goroutine per point. Whether interleaving (width > 1) helps is a cache
 // question — see DefaultBatchWidth.
 func RunBatch(rcs []RunConfig, width int) []*stats.Collector {
+	out, _ := RunBatchStats(rcs, width)
+	return out
+}
+
+// RunBatchStats is RunBatch plus the scheduler's window-occupancy record
+// (the harness half of the engine self-profiling story; see
+// network.EngineProfile for the per-shard half).
+func RunBatchStats(rcs []RunConfig, width int) ([]*stats.Collector, *BatchStats) {
 	out := make([]*stats.Collector, len(rcs))
 	if width < 1 {
 		width = 1
 	}
+	bs := &BatchStats{Width: width, Sims: len(rcs), Occupancy: make([]int64, width+1)}
 	live := make([]*batchSim, 0, width)
 	next := 0
 	fill := func() {
@@ -105,6 +141,9 @@ func RunBatch(rcs []RunConfig, width int) []*stats.Collector {
 		}
 	}
 	for fill(); len(live) > 0; fill() {
+		bs.Passes++
+		bs.Steps += int64(len(live))
+		bs.Occupancy[len(live)]++
 		kept := live[:0]
 		for _, s := range live {
 			if s.step() {
@@ -116,5 +155,5 @@ func RunBatch(rcs []RunConfig, width int) []*stats.Collector {
 		}
 		live = kept
 	}
-	return out
+	return out, bs
 }

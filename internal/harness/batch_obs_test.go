@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"rair/internal/telemetry"
+)
+
+// TestAttributionDeterministicUnderBatch extends the attribution
+// determinism contract to the lockstep batch runner: a run's telemetry
+// report (decompositions included) is byte-identical whether it executes
+// alone through Run or interleaved with a batch mate through RunBatch.
+func TestAttributionDeterministicUnderBatch(t *testing.T) {
+	regs, apps := Fig9Scenario(0.5)
+	mkRC := func(tel *telemetry.Collector) RunConfig {
+		return RunConfig{
+			Regions: regs, Router: synthCfg(), Apps: apps,
+			Scheme: RAIR("RA_RAIR"), Dur: testDur(), Seed: 42, Telemetry: tel,
+		}
+	}
+	report := func(tel *telemetry.Collector) []byte {
+		var buf bytes.Buffer
+		if err := tel.Report().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	solo := telemetry.NewCollector(telemetry.Config{Window: 128, Attribution: true})
+	Run(mkRC(solo))
+	want := report(solo)
+	if solo.Attribution() == nil {
+		t.Fatal("solo run produced no attribution")
+	}
+
+	telA := telemetry.NewCollector(telemetry.Config{Window: 128, Attribution: true})
+	telB := telemetry.NewCollector(telemetry.Config{Window: 128, Attribution: true})
+	_, bs := RunBatchStats([]RunConfig{mkRC(telA), mkRC(telB)}, 2)
+	for i, tel := range []*telemetry.Collector{telA, telB} {
+		if got := report(tel); !bytes.Equal(got, want) {
+			t.Fatalf("batched run %d: telemetry report differs from solo run", i)
+		}
+	}
+
+	if bs == nil || bs.Passes == 0 {
+		t.Fatalf("no batch stats recorded: %+v", bs)
+	}
+	var steps, passes int64
+	for k, c := range bs.Occupancy {
+		passes += c
+		steps += int64(k) * c
+	}
+	if bs.Occupancy[0] != 0 {
+		t.Fatal("occupancy histogram counted an empty pass")
+	}
+	if passes != bs.Passes || steps != bs.Steps {
+		t.Fatalf("occupancy histogram (%d passes, %d steps) disagrees with totals (%d, %d)",
+			passes, steps, bs.Passes, bs.Steps)
+	}
+	if m := bs.MeanOccupancy(); m <= 0 || m > float64(bs.Width) {
+		t.Fatalf("mean occupancy %v out of (0, %d]", m, bs.Width)
+	}
+	// Two identical configurations run in lockstep finish together, so the
+	// window stays full for every pass.
+	if m := bs.MeanOccupancy(); m != 2 {
+		t.Fatalf("mean occupancy %v, want 2 for twin simulations", m)
+	}
+}

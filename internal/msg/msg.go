@@ -36,6 +36,42 @@ const (
 	LongPacketFlits  = 5
 )
 
+// Blame cause buckets for interference attribution. When a packet's head
+// flit stalls for a cycle, the stall is charged to the bucket named after
+// whatever blocked it, keyed by the blocker's region class relative to the
+// stalled packet. Precedence when causes coincide: fault > escape > foreign
+// > native (see DESIGN.md "Observability").
+const (
+	// BlameNative: blocked by traffic of the packet's own region class.
+	BlameNative = iota
+	// BlameForeign: blocked by traffic from a foreign region — the
+	// interference RAIR exists to reduce.
+	BlameForeign
+	// BlameEscape: serialized behind the escape-VC discipline (only the
+	// masked escape VC was available, or an escape-VC holder blocked us).
+	BlameEscape
+	// BlameFault: stalled by fault handling (retransmission hold, or a
+	// downstream flit pinned in ST by a faulty link).
+	BlameFault
+	// NumBlame is the number of blame buckets.
+	NumBlame
+)
+
+// BlameName returns the canonical short name of a blame bucket.
+func BlameName(b int) string {
+	switch b {
+	case BlameNative:
+		return "native"
+	case BlameForeign:
+		return "foreign"
+	case BlameEscape:
+		return "escape"
+	case BlameFault:
+		return "fault"
+	}
+	return fmt.Sprintf("blame(%d)", b)
+}
+
 // Packet is a network packet. Flits reference their packet; per-packet
 // fields are written once at creation and treated as read-only afterwards,
 // except the latency bookkeeping stamps set by the network.
@@ -72,6 +108,12 @@ type Packet struct {
 	// Payload carries protocol-level content (e.g. the memory system's
 	// request descriptors). The network never inspects it.
 	Payload any
+
+	// Blame accumulates stalled-head-flit cycles per cause bucket while
+	// attribution telemetry is enabled. Observer-only: the simulation never
+	// reads it, so its contents cannot perturb behavior. Reset by the NI at
+	// injection so pooled or protocol-reused packets start clean.
+	Blame [NumBlame]int32
 }
 
 // TotalLatency is the queueing-inclusive packet latency, defined only after

@@ -20,6 +20,7 @@ package network
 import (
 	"math/bits"
 	"sync"
+	"time"
 
 	"rair/internal/faults"
 	"rair/internal/msg"
@@ -78,6 +79,7 @@ type ejection struct {
 // shard owns a contiguous node range: its routers and NIs, plus every link
 // wire whose receiver lives in the range.
 type shard struct {
+	idx     int // position in engine.shards (self-profiling index)
 	routers []*router.Router
 	nis     []*router.NI
 
@@ -123,6 +125,10 @@ type engine struct {
 	// preserves the engine's bit-exactness across worker counts.
 	faults *faults.Injector
 
+	// prof, when non-nil, records the engine's self-profile (per-shard
+	// phase timings, barrier waits, sweep sizes); see profile.go.
+	prof *engineProf
+
 	// cmd[i] feeds shard i+1's worker; shard 0 runs on the coordinator.
 	cmd  []chan enginePhase
 	done chan struct{}
@@ -138,7 +144,7 @@ func newEngine(mesh *topology.Mesh, routers []*router.Router, nis []*router.NI, 
 	e := &engine{mesh: mesh, routers: routers, shards: make([]*shard, s)}
 	for i := range e.shards {
 		lo, hi := i*n/s, (i+1)*n/s
-		e.shards[i] = &shard{routers: routers[lo:hi], nis: nis[lo:hi], soa: soas[i], lo: lo}
+		e.shards[i] = &shard{idx: i, routers: routers[lo:hi], nis: nis[lo:hi], soa: soas[i], lo: lo}
 	}
 	if s > 1 {
 		e.cmd = make([]chan enginePhase, s-1)
@@ -220,12 +226,23 @@ func (e *engine) worker(cmd chan enginePhase, sh *shard) {
 }
 
 // run executes one phase across all shards and waits for the barrier. The
-// coordinator handles shard 0 itself while the workers run theirs.
+// coordinator handles shard 0 itself while the workers run theirs. With
+// profiling on, the time the coordinator spends draining worker completions
+// after finishing its own shard — the imbalance cost of the partition — is
+// recorded as the phase's barrier wait.
 func (e *engine) run(ph enginePhase) {
 	for _, c := range e.cmd {
 		c <- ph
 	}
 	e.exec(e.shards[0], ph)
+	if e.prof != nil && len(e.cmd) > 0 {
+		start := time.Now()
+		for range e.cmd {
+			<-e.done
+		}
+		e.prof.recordBarrier(ph, time.Since(start))
+		return
+	}
 	for range e.cmd {
 		<-e.done
 	}
@@ -241,7 +258,21 @@ func (e *engine) close() {
 	})
 }
 
+// exec runs one phase on one shard, wrapping execPhase with wall-time
+// accounting when profiling is on. The timed path is taken by the shard's
+// own goroutine (worker or coordinator), so the counter write stays within
+// the ownership discipline.
 func (e *engine) exec(sh *shard, ph enginePhase) {
+	if e.prof == nil {
+		e.execPhase(sh, ph)
+		return
+	}
+	start := time.Now()
+	e.execPhase(sh, ph)
+	e.prof.shards[sh.idx].phaseNS[ph] += time.Since(start).Nanoseconds()
+}
+
+func (e *engine) execPhase(sh *shard, ph enginePhase) {
 	switch ph {
 	case phaseLinks:
 		// Dirty-wire sweep: only wires with something in flight have their
@@ -257,6 +288,9 @@ func (e *engine) exec(sh *shard, ph enginePhase) {
 		// same kind cannot change results.
 		now := e.now
 		nrf := len(sh.rFlit)
+		// Sweep-size counters; folded into the shard's profile block only
+		// when profiling is on (register increments otherwise).
+		var dirtyFlit, dirtyCred int64
 		for wi, w := range sh.flitDirty {
 			if w == 0 {
 				continue
@@ -265,6 +299,7 @@ func (e *engine) exec(sh *shard, ph enginePhase) {
 			base := wi << 6
 			for m := w; m != 0; m &= m - 1 {
 				i := base + bits.TrailingZeros64(m)
+				dirtyFlit++
 				var l *router.Link
 				if i < nrf {
 					b := &sh.rFlit[i]
@@ -303,6 +338,7 @@ func (e *engine) exec(sh *shard, ph enginePhase) {
 			base := wi << 6
 			for m := w; m != 0; m &= m - 1 {
 				i := base + bits.TrailingZeros64(m)
+				dirtyCred++
 				var l *router.Link
 				if i < nrc {
 					b := &sh.rCred[i]
@@ -332,6 +368,11 @@ func (e *engine) exec(sh *shard, ph enginePhase) {
 				b.r.DeliverCredit(b.dir, vc)
 			}
 		}
+		if p := e.prof; p != nil {
+			sp := &p.shards[sh.idx]
+			sp.dirtyFlit += dirtyFlit
+			sp.dirtyCred += dirtyCred
+		}
 	case phaseCompute:
 		// Armed-component sweep: a router's wake bit is set by flit arrival
 		// (phase 1, this shard) and cleared here once its work counter hits
@@ -340,6 +381,7 @@ func (e *engine) exec(sh *shard, ph enginePhase) {
 		// detach a busy router from the sweep.
 		now := e.now
 		soa := sh.soa
+		var armedR, armedN int64
 		for wi, w := range soa.ArmedR {
 			if w == 0 {
 				continue
@@ -348,6 +390,7 @@ func (e *engine) exec(sh *shard, ph enginePhase) {
 			base := wi << 6
 			for m := w; m != 0; m &= m - 1 {
 				li := base + bits.TrailingZeros64(m)
+				armedR++
 				r := sh.routers[li]
 				if e.faults == nil || !e.faults.RouterStalled(r.Node(), now) {
 					r.Tick(now)
@@ -366,12 +409,18 @@ func (e *engine) exec(sh *shard, ph enginePhase) {
 			base := wi << 6
 			for m := w; m != 0; m &= m - 1 {
 				li := base + bits.TrailingZeros64(m)
+				armedN++
 				sh.nis[li].Tick(now)
 				if soa.NIWork[li] > 0 {
 					keep |= 1 << (uint(li) & 63)
 				}
 			}
 			soa.ArmedN[wi] = keep
+		}
+		if p := e.prof; p != nil {
+			sp := &p.shards[sh.idx]
+			sp.routerTicks += armedR
+			sp.niTicks += armedN
 		}
 	case phaseCongFill:
 		// Every router relays, active or not: congestion values travel one

@@ -89,6 +89,12 @@ type Params struct {
 	// barrier on the coordinating goroutine (read-only audits; enabling it
 	// cannot change simulation results). See internal/invariant.
 	Check *invariant.Config
+	// Profile enables engine self-profiling: per-shard phase wall times,
+	// coordinator barrier-wait histograms, armed-component and dirty-wire
+	// sweep counts. Purely observational (wall-clock and visit counts, no
+	// simulation state), so results are bit-identical with it on or off.
+	// Read the result with EngineProfile. See profile.go.
+	Profile bool
 }
 
 // Network is a fully wired mesh NoC.
@@ -175,6 +181,9 @@ func New(p Params) *Network {
 	}
 	n.eng = newEngine(mesh, n.routers, n.nis, p.Workers, soas)
 	n.eng.faults = n.faults
+	if p.Profile {
+		n.eng.prof = newEngineProf(len(n.eng.shards))
+	}
 	// Inter-router links (one per direction per adjacent pair).
 	for id := 0; id < mesh.N(); id++ {
 		for _, d := range []topology.Dir{topology.East, topology.South} {
@@ -318,6 +327,9 @@ func (n *Network) Now() int64 { return n.now }
 func (n *Network) Tick(now int64) {
 	n.now = now
 	n.eng.now = now
+	if n.eng.prof != nil {
+		n.eng.prof.cycles++
+	}
 	// Phase 1: links deliver.
 	n.eng.run(phaseLinks)
 	// Phase 2: routers and NIs compute.

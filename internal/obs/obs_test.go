@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+
+	"rair/internal/harness"
+	"rair/internal/network"
+	"rair/internal/telemetry"
+)
+
+// sampleSnapshot builds a fully populated snapshot by hand so the writers
+// are exercised without running a simulation.
+func sampleSnapshot() *Snapshot {
+	tot := telemetry.Counters{
+		LinkFlits: 1000, CreditStalls: 20, InjectStalls: 3,
+		AttrNativeCycles: 40, AttrForeignCycles: 60, AttrEscapeCycles: 5, AttrFaultCycles: 0,
+	}
+	attr := &telemetry.AttributionReport{
+		Rows: []telemetry.DecompRow{{
+			DecompKey: telemetry.DecompKey{App: 0, Class: 0},
+			Decomp: telemetry.Decomp{
+				Packets: 10, TotalCycles: 300, InjectQueueCycles: 10,
+				ZeroLoadCycles: 185, NativeCycles: 40, ForeignCycles: 60, EscapeCycles: 5,
+			},
+			InterferenceRatio: 60.0 / 105.0,
+		}},
+	}
+	attr.Total = attr.Rows[0]
+	attr.Total.App = -1
+	attr.Total.Class = -1
+	eng := &network.EngineProfile{
+		Cycles: 500, Workers: 2,
+		Shards: []network.ShardProfile{
+			{Shard: 0, Nodes: 32, RouterTicks: 900, NITicks: 400, RouterQuiescence: 0.5},
+			{Shard: 1, Nodes: 32, RouterTicks: 800, NITicks: 300, RouterQuiescence: 0.6},
+		},
+		Barrier: []network.BarrierProfile{{Phase: "links", Waits: 500, WaitNS: 123456}},
+	}
+	eng.Barrier[0].Hist[12] = 500
+	return &Snapshot{
+		Cycle: 500, Totals: &tot, Attribution: attr, Engine: eng,
+		Batch: &harness.BatchStats{Width: 2, Sims: 2, Passes: 100, Steps: 190, Occupancy: []int64{0, 10, 90}},
+	}
+}
+
+var (
+	sampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9].*$`)
+	metaLine   = regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$`)
+)
+
+// checkPrometheus is a strict-enough text-format check: every line is a
+// well-formed sample or HELP/TYPE comment, no (name, labels) series is
+// duplicated, and HELP/TYPE for a family appear exactly once, before its
+// samples. It returns the set of series names seen.
+func checkPrometheus(t *testing.T, text string) map[string]bool {
+	t.Helper()
+	names := map[string]bool{}
+	series := map[string]bool{}
+	declared := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !metaLine.MatchString(line) {
+				t.Fatalf("malformed comment line: %q", line)
+			}
+			f := strings.Fields(line)
+			if f[1] == "TYPE" {
+				if declared[f[2]] {
+					t.Fatalf("family %s declared twice", f[2])
+				}
+				declared[f[2]] = true
+			}
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		key := line[:strings.LastIndex(line, " ")]
+		if series[key] {
+			t.Fatalf("duplicate series: %q", key)
+		}
+		series[key] = true
+		names[strings.SplitN(key, "{", 2)[0]] = true
+	}
+	return names
+}
+
+func TestWritePrometheusFull(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleSnapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	names := checkPrometheus(t, buf.String())
+	for _, want := range []string{
+		"rair_sim_cycle",
+		"rair_interference_ratio",
+		"rair_latency_decomp_cycles_total",
+		"rair_blame_cycles_total",
+		"rair_engine_quiescence_ratio",
+		"rair_engine_barrier_wait_seconds_bucket",
+		"rair_engine_barrier_wait_seconds_sum",
+		"rair_engine_barrier_wait_seconds_count",
+		"rair_batch_mean_occupancy",
+	} {
+		if !names[want] {
+			t.Fatalf("missing series %s in:\n%s", want, buf.String())
+		}
+	}
+	if !strings.Contains(buf.String(), `rair_interference_ratio{app="all",class="all"}`) {
+		t.Fatal("missing aggregate interference-ratio row")
+	}
+	// The histogram must be cumulative and capped by its count.
+	if !strings.Contains(buf.String(), `rair_engine_barrier_wait_seconds_bucket{phase="links",le="+Inf"} 500`) {
+		t.Fatalf("missing +Inf bucket:\n%s", buf.String())
+	}
+}
+
+// TestWritePrometheusEmpty pins the stable-schema contract: even a zero
+// snapshot (nothing enabled, nothing published yet) serves parseable text
+// with the interference-ratio gauge and the barrier-wait histogram series
+// present, zero-valued — serial engines included.
+func TestWritePrometheusEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Snapshot{}).WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	names := checkPrometheus(t, buf.String())
+	for _, want := range []string{
+		"rair_sim_cycle",
+		"rair_interference_ratio",
+		"rair_engine_barrier_wait_seconds_bucket",
+		"rair_engine_barrier_wait_seconds_count",
+	} {
+		if !names[want] {
+			t.Fatalf("missing always-present series %s in:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleSnapshot().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if lines[0] != "metric,labels,value" {
+		t.Fatalf("bad header: %q", lines[0])
+	}
+	if len(lines) < 20 {
+		t.Fatalf("suspiciously short CSV (%d lines)", len(lines))
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	// Before any publish: the stable empty schema.
+	checkPrometheus(t, get("/metrics"))
+	if !strings.Contains(get("/snapshot"), `"cycle": 0`) {
+		t.Fatal("empty snapshot JSON missing cycle")
+	}
+
+	srv.Publish(sampleSnapshot())
+	metrics := get("/metrics")
+	checkPrometheus(t, metrics)
+	if !strings.Contains(metrics, "rair_sim_cycle 500") {
+		t.Fatalf("published snapshot not served:\n%s", metrics)
+	}
+	if !strings.Contains(get("/snapshot"), `"cycle": 500`) {
+		t.Fatal("snapshot JSON not updated after publish")
+	}
+}
+
+func TestFmtFloat(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"}, {500, "500"}, {-3, "-3"}, {0.5, "0.5"}, {1.28e-07, "1.28e-07"},
+	} {
+		if got := fmtFloat(tc.v); got != tc.want {
+			t.Fatalf("fmtFloat(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}

@@ -70,8 +70,9 @@ type NI struct {
 	onEject func(*msg.Packet, int64)
 
 	// tel is the node's telemetry probe (shared with the router); nil when
-	// telemetry is disabled.
-	tel *telemetry.Probe
+	// telemetry is disabled. attr caches tel.AttributionOn() at wiring.
+	tel  *telemetry.Probe
+	attr bool
 
 	created, injected, ejected int64
 	flitsOut, flitsIn          int64
@@ -134,7 +135,10 @@ func (ni *NI) Active() bool {
 func (ni *NI) Node() int { return ni.node }
 
 // SetTelemetry attaches a telemetry probe (nil detaches).
-func (ni *NI) SetTelemetry(p *telemetry.Probe) { ni.tel = p }
+func (ni *NI) SetTelemetry(p *telemetry.Probe) {
+	ni.tel = p
+	ni.attr = p.AttributionOn()
+}
 
 // Inject queues a packet for injection at cycle now, stamping its creation
 // time, batch and regional/global classification.
@@ -150,6 +154,9 @@ func (ni *NI) Inject(p *msg.Packet, now int64) {
 	p.Global = ni.regions.Global(p.Src, p.Dst)
 	p.EjectedAt = -1
 	p.InjectedAt = -1
+	// Unconditional (branchless) so pool-recycled and protocol-reused
+	// packets always start with a clean blame vector.
+	p.Blame = [msg.NumBlame]int32{}
 	ni.queues[p.Class].Push(p)
 	ni.queued++
 	ni.soa.NIWork[ni.li]++
@@ -212,6 +219,13 @@ func (ni *NI) DeliverFlit(f msg.Flit, now int64) {
 		ni.ejected++
 		if ni.tel != nil && ni.tel.Traced(f.Pkt.ID) {
 			ni.tel.Lifecycle(f.Pkt.ID, telemetry.StageEject, now)
+		}
+		if ni.attr {
+			// Fold before onEject: the harness recycles the packet from
+			// its OnEject observer, so the blame vector must be consumed
+			// first. Runs in the link phase on the shard owning this NI's
+			// probe — no other shard touches the packet this phase.
+			ni.tel.FoldAttribution(f.Pkt)
 		}
 		if ni.onEject != nil {
 			ni.onEject(f.Pkt, now)

@@ -50,6 +50,14 @@ type inputVC struct {
 	// onto the escape (DOR) direction so the Duato escape path is always
 	// eventually requested under congestion.
 	vaAttempts int
+
+	// headPending is true from head arrival until SA pops the head flit —
+	// the window in which stall attribution may charge this VC's packet.
+	// A packet's un-popped head sits in exactly one VC network-wide, so
+	// gating charges on it bounds attribution to one cycle per packet per
+	// cycle. Maintained unconditionally (two bool stores per packet per
+	// hop); read only when attribution is on.
+	headPending bool
 }
 
 // InputPort is one input of the router: a set of VC buffers plus the
@@ -81,6 +89,7 @@ func (p *InputPort) deliver(f msg.Flit) {
 		vc.owner = f.Pkt
 		vc.stage = stageRC
 		vc.vaAttempts = 0
+		vc.headPending = true
 		p.rcMask |= 1 << uint(f.VC)
 	} else if vc.owner != f.Pkt {
 		panic(fmt.Sprintf("router: body flit of %v on VC %d owned by %v", f.Pkt, f.VC, vc.owner))

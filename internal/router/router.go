@@ -136,6 +136,12 @@ type Router struct {
 	telDPA        dpaPolicy
 	telNativeHigh bool
 
+	// attr caches tel.AttributionOn() at wiring so every blame charge site
+	// is a single predictable branch when attribution is off. allMask is
+	// the all-VCs mask of one port (blame-site scratch).
+	attr    bool
+	allMask vcMask
+
 	now int64
 }
 
@@ -195,6 +201,7 @@ func NewInStore(cfg Config, node, app int, mesh *topology.Mesh, regions *region.
 		base := cfg.ClassBase(msg.Class(c))
 		r.classWindow[c] = allVCs(cfg.VCsPerClass()) << uint(base)
 	}
+	r.allMask = allVCs(v)
 	r.routes = make([]routeEntry, mesh.N())
 	rowLen := mesh.W
 	if mesh.H > rowLen {
@@ -226,6 +233,7 @@ func (r *Router) Policy() policy.Policy { return r.pol }
 // current value.
 func (r *Router) SetTelemetry(p *telemetry.Probe) {
 	r.tel = p
+	r.attr = p.AttributionOn()
 	r.telDPA = nil
 	if p != nil {
 		if d, ok := r.pol.(dpaPolicy); ok {
@@ -391,6 +399,58 @@ func b2i(b bool) int {
 	return 0
 }
 
+// chargeLoss attributes one stalled cycle of an arbitration loser to the
+// winner's region class: same application (RAIR: same region) is native
+// contention, anything else is foreign interference.
+func (r *Router) chargeLoss(loser, winner *msg.Packet) {
+	if winner.App == loser.App {
+		r.tel.Charge(loser, msg.BlameNative)
+	} else {
+		r.tel.Charge(loser, msg.BlameForeign)
+	}
+}
+
+// chargeBlocked attributes one stalled cycle of pkt to the owners of the
+// occupied output VCs blocking it: foreign wins over native as soon as any
+// blocker belongs to another application ("any-foreign wins"); def covers
+// the no-visible-blocker case (site-specific, see callers).
+func (r *Router) chargeBlocked(pkt *msg.Packet, out *OutputPort, occupied vcMask, def int) {
+	cause := -1
+	for m := occupied; m != 0; m &= m - 1 {
+		o := out.vcs[bits.TrailingZeros64(m)].owner
+		if o == nil || o == pkt {
+			continue
+		}
+		if o.App != pkt.App {
+			cause = msg.BlameForeign
+			break
+		}
+		cause = msg.BlameNative
+	}
+	if cause < 0 {
+		cause = def
+	}
+	r.tel.Charge(pkt, cause)
+}
+
+// chargeSAStall attributes one cycle of a head-pending VC that failed SA_in
+// eligibility. Precedence: a held ST register means fault (fault-free links
+// drain ST every cycle); waiting on the escape VC's credit is escape
+// serialization; otherwise a credit stall charged to the co-resident owners
+// of the output port's VCs, defaulting to native when none are visible
+// (downstream congestion the local router cannot classify).
+func (r *Router) chargeSAStall(vc *inputVC, out *OutputPort) {
+	switch {
+	case out.stValid:
+		r.tel.Charge(vc.owner, msg.BlameFault)
+	case r.vcKind[vc.outVC] == policy.VCEscape:
+		r.tel.Charge(vc.owner, msg.BlameEscape)
+	default:
+		occ := (r.allMask &^ out.freeMask) &^ (1 << uint(vc.outVC))
+		r.chargeBlocked(vc.owner, out, occ, msg.BlameNative)
+	}
+}
+
 // switchTraversal moves last cycle's SA winners onto their links (ST + LT),
 // visiting only the output ports whose ST register is occupied.
 func (r *Router) switchTraversal() {
@@ -414,6 +474,12 @@ func (r *Router) switchTraversal() {
 			}
 		} else {
 			kept = append(kept, d)
+			if r.attr && out.st.Type.IsHead() {
+				// Fault-free links always accept the ST flit after the
+				// link phase, so a head pinned here can only be a faulty
+				// link's retransmission hold.
+				r.tel.Charge(out.st.Pkt, msg.BlameFault)
+			}
 		}
 	}
 	r.stList = kept
@@ -457,6 +523,9 @@ func (r *Router) switchAllocation() {
 				if r.tel != nil && !out.stValid {
 					r.tel.CreditStall()
 				}
+				if r.attr && vc.headPending {
+					r.chargeSAStall(vc, out)
+				}
 				continue
 			}
 			elig |= 1 << uint(i)
@@ -491,6 +560,15 @@ func (r *Router) switchAllocation() {
 						r.tel.SAInGrant(native)
 					} else {
 						r.tel.SAInDeny(native)
+					}
+				}
+			}
+			if r.attr && w >= 0 {
+				winner := in.vcs[w].owner
+				for c := elig; c != 0; c &= c - 1 {
+					i := bits.TrailingZeros64(c)
+					if i != w && in.vcs[i].headPending {
+						r.chargeLoss(in.vcs[i].owner, winner)
 					}
 				}
 			}
@@ -557,6 +635,14 @@ func (r *Router) switchAllocation() {
 				}
 			}
 		}
+		if r.attr && w >= 0 {
+			winner := r.saOutVC[w].owner
+			for id2 := topology.Dir(0); id2 < topology.NumDirs; id2++ {
+				if r.saOutReq[od][id2] && int(id2) != w && r.saOutVC[id2].headPending {
+					r.chargeLoss(r.saOutVC[id2].owner, winner)
+				}
+			}
+		}
 		if w == arbiter.None {
 			continue
 		}
@@ -581,6 +667,7 @@ func (r *Router) transfer(inDir topology.Dir, vc *inputVC) {
 	f.VC = vc.outVC
 	if f.Type.IsHead() {
 		f.Pkt.Hops++
+		vc.headPending = false
 		if r.tel != nil && r.tel.Traced(f.Pkt.ID) {
 			r.tel.Lifecycle(f.Pkt.ID, telemetry.StageSA, r.now)
 		}
@@ -674,6 +761,24 @@ func (r *Router) vcAllocation() {
 				}
 			}
 		}
+		if r.attr && w >= 0 {
+			// Losers of a VA_out arbitration: serialized on the escape VC
+			// when that is what they competed for, otherwise blocked by
+			// the winner's region class.
+			escape := r.vcKind[og%v] == policy.VCEscape
+			winner := r.in[topology.Dir(w/v)].vcs[w%v].owner
+			for i, req := range r.vaReq[og] {
+				if !req || i == w {
+					continue
+				}
+				loser := r.in[topology.Dir(i/v)].vcs[i%v].owner
+				if escape {
+					r.tel.Charge(loser, msg.BlameEscape)
+				} else {
+					r.chargeLoss(loser, winner)
+				}
+			}
+		}
 		if w != arbiter.None {
 			r.allocate(og, w)
 		}
@@ -730,6 +835,14 @@ func (r *Router) vaInput(vc *inputVC) (int, policy.VCClass) {
 		free &^= r.escapeMask
 	}
 	if free == 0 {
+		if r.attr {
+			// No output VC to request: blocked by whoever owns the VCs of
+			// this packet's class window. With no visible owner the only
+			// candidate was the masked-out escape VC — escape
+			// serialization by definition.
+			occ := r.classWindow[pkt.Class] &^ out.freeMask
+			r.chargeBlocked(pkt, out, occ, msg.BlameEscape)
+		}
 		return -1, 0
 	}
 	first, second := r.regionalMask, r.globalMask

@@ -21,6 +21,10 @@ type Report struct {
 
 	Totals  Counters       `json:"totals"`
 	Routers []RouterReport `json:"routers"`
+
+	// Attribution is the per-(source app, class) latency decomposition;
+	// nil unless Config.Attribution was on and packets ejected.
+	Attribution *AttributionReport `json:"attribution,omitempty"`
 }
 
 // RouterReport is one node's slice of the report.
@@ -46,6 +50,7 @@ func (c *Collector) Report() *Report {
 			Node: p.node, App: p.app, Counters: cnt, Windows: p.Windows(),
 		})
 	}
+	r.Attribution = c.Attribution()
 	return r
 }
 
@@ -64,18 +69,20 @@ func (r *Report) WriteCSV(w io.Writer) error {
 		"saOutGrantNative,saOutGrantForeign,saOutDenyNative,saOutDenyForeign,"+
 		"dpaToNativeHigh,dpaToForeignHigh,creditStalls,injectStalls,linkFlits,"+
 		"faultDroppedFlits,faultCorruptedFlits,faultRetransmits,faultLostFlits,"+
-		"faultCreditLeaks,faultReconciledCredits,faultStallCycles"); err != nil {
+		"faultCreditLeaks,faultReconciledCredits,faultStallCycles,"+
+		"attrNativeCycles,attrForeignCycles,attrEscapeCycles,attrFaultCycles"); err != nil {
 		return err
 	}
 	row := func(label string, app int, c *Counters) error {
-		_, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		_, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			label, app,
 			c.VAGrantNative, c.VAGrantForeign, c.VADenyNative, c.VADenyForeign,
 			c.SAInGrantNative, c.SAInGrantForeign, c.SAInDenyNative, c.SAInDenyForeign,
 			c.SAOutGrantNative, c.SAOutGrantForeign, c.SAOutDenyNative, c.SAOutDenyForeign,
 			c.DPAToNativeHigh, c.DPAToForeignHigh, c.CreditStalls, c.InjectStalls, c.LinkFlits,
 			c.FaultDroppedFlits, c.FaultCorruptedFlits, c.FaultRetransmits, c.FaultLostFlits,
-			c.FaultCreditLeaks, c.FaultReconciledCredits, c.FaultStallCycles)
+			c.FaultCreditLeaks, c.FaultReconciledCredits, c.FaultStallCycles,
+			c.AttrNativeCycles, c.AttrForeignCycles, c.AttrEscapeCycles, c.AttrFaultCycles)
 		return err
 	}
 	for i := range r.Routers {

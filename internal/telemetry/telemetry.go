@@ -19,6 +19,8 @@
 // worker counts.
 package telemetry
 
+import "rair/internal/msg"
+
 // Config parameterizes a Collector.
 type Config struct {
 	// Window is the time-series sampling window in cycles (default 256).
@@ -32,6 +34,11 @@ type Config struct {
 	// TraceCap bounds the lifecycle events retained per node; events
 	// beyond it are counted as dropped (default 65536).
 	TraceCap int
+	// Attribution enables the per-flit blame accountant (stalled-head
+	// cycle charging and per-(source app, class) latency decompositions;
+	// see attribution.go). Off by default: routers cache the flag at
+	// wiring time and skip every charge site when it is false.
+	Attribution bool
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +95,13 @@ type Counters struct {
 	FaultCreditLeaks       int64 `json:"faultCreditLeaks,omitempty"`
 	FaultReconciledCredits int64 `json:"faultReconciledCredits,omitempty"`
 	FaultStallCycles       int64 `json:"faultStallCycles,omitempty"`
+	// Stalled-head-flit cycles this router charged per blame bucket
+	// (attribution only; see Probe.Charge). These count charges made *at*
+	// this router, unlike the decomposition tables, which fold per source.
+	AttrNativeCycles  int64 `json:"attrNativeCycles,omitempty"`
+	AttrForeignCycles int64 `json:"attrForeignCycles,omitempty"`
+	AttrEscapeCycles  int64 `json:"attrEscapeCycles,omitempty"`
+	AttrFaultCycles   int64 `json:"attrFaultCycles,omitempty"`
 }
 
 // add accumulates o into c (report totals).
@@ -116,6 +130,10 @@ func (c *Counters) add(o *Counters) {
 	c.FaultCreditLeaks += o.FaultCreditLeaks
 	c.FaultReconciledCredits += o.FaultReconciledCredits
 	c.FaultStallCycles += o.FaultStallCycles
+	c.AttrNativeCycles += o.AttrNativeCycles
+	c.AttrForeignCycles += o.AttrForeignCycles
+	c.AttrEscapeCycles += o.AttrEscapeCycles
+	c.AttrFaultCycles += o.AttrFaultCycles
 }
 
 // Probe is one node's sink: the router and NI of the node hold it and feed
@@ -129,6 +147,11 @@ type Probe struct {
 
 	win       winRing
 	lastFlits int64
+	lastAttr  [msg.NumBlame]int64
+
+	// decomp holds the per-(source app, class) latency decompositions of
+	// packets ejected at this node (attribution only; see attribution.go).
+	decomp map[DecompKey]*Decomp
 
 	events  []Event
 	dropped int64

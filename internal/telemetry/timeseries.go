@@ -1,5 +1,7 @@
 package telemetry
 
+import "rair/internal/msg"
+
 // WindowSample is one closed sampling window at one router: the DPA
 // occupancy registers (VC occupancy by region tag) at the window boundary,
 // the derived OVC_f/OVC_n ratio, and the flits the router pushed onto its
@@ -20,6 +22,16 @@ type WindowSample struct {
 	// upper bound of one per connected output link).
 	LinkFlits   int64   `json:"linkFlits"`
 	Utilization float64 `json:"utilization"`
+	// Blame* are the stalled-head cycles this router charged per cause
+	// bucket during the window, and InterferenceRatio is BlameForeign over
+	// all four (0 when nothing was charged) — the windowed
+	// interference-ratio series. All zero (and omitted from JSON) unless
+	// attribution is on.
+	BlameNative       int64   `json:"blameNative,omitempty"`
+	BlameForeign      int64   `json:"blameForeign,omitempty"`
+	BlameEscape       int64   `json:"blameEscape,omitempty"`
+	BlameFault        int64   `json:"blameFault,omitempty"`
+	InterferenceRatio float64 `json:"interferenceRatio,omitempty"`
 }
 
 // winRing is a fixed-capacity ring of window samples; once full, the
@@ -71,14 +83,31 @@ func (p *Probe) Sample(now int64, ovcNative, ovcForeign int) {
 	case ovcForeign > 0:
 		ratio = -1 // infinite: foreign occupancy against empty native
 	}
-	p.win.push(p.col.cfg.WindowCap, WindowSample{
+	s := WindowSample{
 		Cycle:       now,
 		OVCNative:   ovcNative,
 		OVCForeign:  ovcForeign,
 		Ratio:       ratio,
 		LinkFlits:   delta,
 		Utilization: float64(delta) / float64(p.col.cfg.Window),
-	})
+	}
+	if p.col.cfg.Attribution {
+		attr := [msg.NumBlame]int64{
+			msg.BlameNative:  p.c.AttrNativeCycles,
+			msg.BlameForeign: p.c.AttrForeignCycles,
+			msg.BlameEscape:  p.c.AttrEscapeCycles,
+			msg.BlameFault:   p.c.AttrFaultCycles,
+		}
+		s.BlameNative = attr[msg.BlameNative] - p.lastAttr[msg.BlameNative]
+		s.BlameForeign = attr[msg.BlameForeign] - p.lastAttr[msg.BlameForeign]
+		s.BlameEscape = attr[msg.BlameEscape] - p.lastAttr[msg.BlameEscape]
+		s.BlameFault = attr[msg.BlameFault] - p.lastAttr[msg.BlameFault]
+		p.lastAttr = attr
+		if total := s.BlameNative + s.BlameForeign + s.BlameEscape + s.BlameFault; total > 0 {
+			s.InterferenceRatio = float64(s.BlameForeign) / float64(total)
+		}
+	}
+	p.win.push(p.col.cfg.WindowCap, s)
 }
 
 // Windows returns the probe's retained window samples in chronological

@@ -41,6 +41,7 @@ import (
 	"rair/internal/memsys"
 	"rair/internal/msg"
 	"rair/internal/network"
+	"rair/internal/obs"
 	"rair/internal/region"
 	"rair/internal/router"
 	"rair/internal/routing"
@@ -128,6 +129,18 @@ type Config struct {
 	// TelemetryTraceEvery samples every N-th packet for flit-lifecycle
 	// tracing (0 disables tracing; requires Telemetry).
 	TelemetryTraceEvery uint64
+	// Attribution enables the interference blame accountant: every cycle a
+	// head flit stalls is charged to a cause bucket (native contention,
+	// foreign-region interference, escape-VC serialization, fault
+	// recovery) and folded into per-(source app, class) latency
+	// decompositions at ejection. Implies Telemetry. Observer-only:
+	// simulation results are bit-identical with it on or off, at any
+	// worker count.
+	Attribution bool
+	// Profile enables the tick engine's self-profiling (per-shard phase
+	// timings, barrier-wait histograms, armed/dirty sweep counts); the
+	// result is Report.Engine. Purely observational.
+	Profile bool
 
 	// Faults, if non-nil, enables deterministic fault injection: link flit
 	// drops and corruptions recovered by retransmission, credit leaks
@@ -218,6 +231,36 @@ type Simulation struct {
 	apps      []traffic.AppTraffic
 	parsec    bool
 	adversary float64
+
+	obsSrv   *obs.Server
+	obsEvery int64
+}
+
+// SetObsServer attaches a live observability endpoint: during Run, a fresh
+// obs.Snapshot (telemetry totals, attribution, engine profile) is published
+// to srv every `every` cycles (and once more at the end of the run). Call
+// before Run; the caller owns the server's lifecycle.
+func (s *Simulation) SetObsServer(srv *obs.Server, every int64) {
+	if every < 1 {
+		every = 1
+	}
+	s.obsSrv = srv
+	s.obsEvery = every
+}
+
+// ServeObs starts a live observability HTTP listener on addr (host:port;
+// ":0" picks a free port) and attaches it to the simulation as with
+// SetObsServer. It exists so callers outside this module — which cannot
+// name the internal obs package — can still stand up the /metrics and
+// /snapshot endpoints. Returns the bound address and a close function the
+// caller must invoke when done.
+func (s *Simulation) ServeObs(addr string, every int64) (string, func() error, error) {
+	srv, err := obs.NewServer(addr)
+	if err != nil {
+		return "", nil, err
+	}
+	s.SetObsServer(srv, every)
+	return srv.Addr(), srv.Close, nil
 }
 
 // New validates the configuration and builds a simulation.
@@ -461,6 +504,9 @@ type Report struct {
 	// was set (nil otherwise): use Telemetry.Report() for the aggregated
 	// counters and Telemetry.WriteChromeTrace for the lifecycle trace.
 	Telemetry *telemetry.Collector
+	// Engine is the tick engine's self-profile when Config.Profile was set
+	// (nil otherwise).
+	Engine *network.EngineProfile
 	// Faults summarizes fault-injection outcomes when Config.Faults was
 	// set (nil otherwise).
 	Faults *FaultReport
@@ -517,10 +563,11 @@ func (s *Simulation) Run(ph Phases) (*Report, error) {
 		alg = s.scheme.Alg(mesh)
 	}
 	var tel *telemetry.Collector
-	if s.cfg.Telemetry {
+	if s.cfg.Telemetry || s.cfg.Attribution {
 		tel = telemetry.NewCollector(telemetry.Config{
-			Window:     s.cfg.TelemetryWindow,
-			TraceEvery: s.cfg.TelemetryTraceEvery,
+			Window:      s.cfg.TelemetryWindow,
+			TraceEvery:  s.cfg.TelemetryTraceEvery,
+			Attribution: s.cfg.Attribution,
 		})
 	}
 	var fcfg *faults.Config
@@ -579,6 +626,7 @@ func (s *Simulation) Run(ph Phases) (*Report, error) {
 		Telemetry: tel,
 		Faults:    fcfg,
 		Check:     icfg,
+		Profile:   s.cfg.Profile,
 	})
 	defer net.Close()
 	inject := func(node int, p *msg.Packet, now int64) { net.NI(node).Inject(p, now) }
@@ -618,6 +666,16 @@ func (s *Simulation) Run(ph Phases) (*Report, error) {
 		eng.Register(sim.TickFunc(t))
 	}
 	eng.Register(net)
+	if srv := s.obsSrv; srv != nil {
+		every := s.obsEvery
+		// Runs on the coordinating goroutine after the tick completes, so
+		// reading telemetry and the engine profile is race-free.
+		eng.OnCycle(func(cycle int64) {
+			if cycle%every == 0 {
+				srv.Publish(obs.Snap(cycle, tel, net.EngineProfile()))
+			}
+		})
+	}
 	eng.Run(end)
 	// Drain: generators self-stop at Until; the memory system keeps
 	// ticking so in-flight protocol actions complete.
@@ -636,6 +694,10 @@ func (s *Simulation) Run(ph Phases) (*Report, error) {
 		LatencyHistogram: col.Total().Histogram(12),
 		Heatmap:          net.UtilizationHeatmap(end),
 		Telemetry:        tel,
+		Engine:           net.EngineProfile(),
+	}
+	if srv := s.obsSrv; srv != nil {
+		srv.Publish(obs.Snap(eng.Now(), tel, rep.Engine))
 	}
 	if inj := net.Faults(); inj != nil {
 		fr := inj.Report()
@@ -689,7 +751,8 @@ func (s *Simulation) RunBatch(ph Phases, seeds []uint64, width int) ([]BatchResu
 		return nil, fmt.Errorf("rair: no traffic attached (AddApp)")
 	}
 	if s.parsec || s.adversary > 0 || s.alg != nil ||
-		s.cfg.Telemetry || s.cfg.Faults != nil || s.cfg.CheckInvariants {
+		s.cfg.Telemetry || s.cfg.Attribution || s.cfg.Profile ||
+		s.cfg.Faults != nil || s.cfg.CheckInvariants {
 		return nil, fmt.Errorf("rair: RunBatch supports only plain synthetic-traffic simulations")
 	}
 	if len(seeds) == 0 {
