@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"rair/internal/collective"
 	"rair/internal/harness"
 	"rair/internal/region"
 )
@@ -160,6 +161,30 @@ var experiments = map[string]struct {
 			}
 			return out, "", nil
 
+		},
+	},
+	"coll-synth": {
+		paper: "Extension: collective co-run, synthetic victims — ring AllReduce in one region, victim APL slowdown + collective completion time per scheme",
+		run: func(quick bool, seed uint64) (string, string, error) {
+			return tabled(harness.CollectiveSynth(collective.RingAllReduce, durations(quick), seed).Table())
+		},
+	},
+	"coll-allreduce": {
+		paper: "Extension: PARSEC proxies vs a ring-AllReduce aggressor region (victim slowdown + CCT per scheme)",
+		run: func(quick bool, seed uint64) (string, string, error) {
+			return tabled(harness.CollectivePARSEC(collective.RingAllReduce, durations(quick), seed).Table())
+		},
+	},
+	"coll-bcast": {
+		paper: "Extension: PARSEC proxies vs a binary-tree broadcast aggressor region (victim slowdown + CCT per scheme)",
+		run: func(quick bool, seed uint64) (string, string, error) {
+			return tabled(harness.CollectivePARSEC(collective.TreeBroadcast, durations(quick), seed).Table())
+		},
+	},
+	"coll-a2a": {
+		paper: "Extension: PARSEC proxies vs an all-to-all shuffle aggressor region (victim slowdown + CCT per scheme)",
+		run: func(quick bool, seed uint64) (string, string, error) {
+			return tabled(harness.CollectivePARSEC(collective.AllToAll, durations(quick), seed).Table())
 		},
 	},
 	"curve": {

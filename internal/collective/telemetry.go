@@ -1,0 +1,34 @@
+package collective
+
+import (
+	"rair/internal/msg"
+	"rair/internal/telemetry"
+)
+
+// Telemetry converts the progress snapshot into the telemetry report
+// section the harness attaches to an instrumented run's collector.
+func (p *Progress) Telemetry(app int) *telemetry.CollectiveReport {
+	rep := &telemetry.CollectiveReport{
+		Op:               p.Op.String(),
+		App:              app,
+		Ranks:            p.Ranks,
+		RoundsStarted:    p.RoundsStarted,
+		Rounds:           p.Rounds,
+		CompletionCycles: p.TotalCycles,
+	}
+	for i := range p.Phases {
+		ph := &p.Phases[i]
+		rep.Phases = append(rep.Phases, telemetry.CollectivePhase{
+			Phase:             ph.Name,
+			Sent:              ph.Sent,
+			Delivered:         ph.Delivered,
+			LatencyCycles:     ph.LatencyCycles,
+			InjectQueueCycles: ph.InjectQueueCycles,
+			NativeCycles:      ph.Blame[msg.BlameNative],
+			ForeignCycles:     ph.Blame[msg.BlameForeign],
+			EscapeCycles:      ph.Blame[msg.BlameEscape],
+			FaultCycles:       ph.Blame[msg.BlameFault],
+		})
+	}
+	return rep
+}

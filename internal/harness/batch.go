@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"rair/internal/collective"
 	"rair/internal/msg"
 	"rair/internal/network"
 	"rair/internal/sim"
@@ -21,11 +22,13 @@ const DefaultBatchWidth = 4
 // warmup+measure run, then the bounded drain).
 type batchSim struct {
 	idx   int // position in the caller's rcs slice
+	rc    RunConfig
 	eng   *sim.Engine
 	net   *network.Network
 	col   *stats.Collector
-	run   int64 // fixed-phase cycles left
-	drain int64 // drain-phase cycle budget left
+	src   *collective.Source // nil without a co-running collective
+	run   int64              // fixed-phase cycles left
+	drain int64              // drain-phase cycle budget left
 }
 
 // startBatchSim builds the simulation for rc exactly as Run does, but leaves
@@ -34,30 +37,49 @@ func startBatchSim(idx int, rc RunConfig) *batchSim {
 	col := stats.NewCollector(rc.Dur.Warmup, rc.Dur.Warmup+rc.Dur.Measure)
 	mesh := rc.Regions.Mesh()
 	pool := msg.NewPool()
+	var src *collective.Source
+	onEject := col.OnEject
+	if rc.Collective != nil {
+		onEject = func(p *msg.Packet, now int64) {
+			if p.App == rc.Collective.App {
+				src.Deliver(p, now)
+				return
+			}
+			col.OnEject(p, now)
+		}
+	}
 	net := network.New(network.Params{
 		Router:    rc.Router,
 		Regions:   rc.Regions,
 		Alg:       rc.Scheme.Alg(mesh),
 		Sel:       rc.Scheme.Sel(rc.Regions, rc.Router),
 		Policy:    rc.Scheme.Policy,
-		OnEject:   col.OnEject,
+		OnEject:   onEject,
 		Recycle:   pool.Put,
 		Workers:   rc.Workers,
 		Telemetry: rc.Telemetry,
 		Faults:    rc.Faults,
 		Check:     rc.Check,
 	})
-	gen := traffic.NewGenerator(rc.Apps, rc.Seed, func(node int, p *msg.Packet, now int64) {
+	inject := func(node int, p *msg.Packet, now int64) {
 		net.NI(node).Inject(p, now)
-	})
+	}
+	gen := traffic.NewGenerator(rc.Apps, rc.Seed, inject)
 	gen.Pool = pool
 	end := rc.Dur.Warmup + rc.Dur.Measure
 	gen.Until = end
 
 	eng := sim.NewEngine()
 	eng.Register(gen)
+	if rc.Collective != nil {
+		src = collective.NewSource(*rc.Collective, rc.Seed, inject)
+		src.Pool = pool
+		src.Until = end
+		eng.Register(src)
+	}
 	eng.Register(net)
-	return &batchSim{idx: idx, eng: eng, net: net, col: col, run: end, drain: rc.Dur.Drain}
+	return &batchSim{idx: idx, rc: rc, eng: eng, net: net, col: col, src: src,
+		run: end, drain: rc.Dur.Drain}
 }
 
 // step advances the simulation one cycle along Run's exact schedule — the
@@ -151,6 +173,9 @@ func RunBatchStats(rcs []RunConfig, width int) ([]*stats.Collector, *BatchStats)
 				continue
 			}
 			out[s.idx] = s.col
+			if s.src != nil {
+				finishCollective(s.rc, s.src)
+			}
 			s.net.Close()
 		}
 		live = kept

@@ -69,14 +69,25 @@ func goldenRun() []string {
 // verbatim, then the ejection total and an FNV-64a digest of every line (so
 // drift anywhere in the run fails the comparison, not just in the prefix).
 func renderGolden(lines []string) string {
+	return renderTrace([]string{
+		"# Golden ejection trace: Fig9 scenario, 0.5 load, RA_RAIR, seed 11.",
+		"# Regenerate with: go test ./internal/harness -run TestGoldenTrace -update",
+	}, lines)
+}
+
+// renderTrace formats any golden trace file: header comment lines, the
+// first 64 ejections verbatim, then the total and whole-run digest.
+func renderTrace(header, lines []string) string {
 	h := fnv.New64a()
 	for _, l := range lines {
 		h.Write([]byte(l))
 		h.Write([]byte{'\n'})
 	}
 	var b strings.Builder
-	b.WriteString("# Golden ejection trace: Fig9 scenario, 0.5 load, RA_RAIR, seed 11.\n")
-	b.WriteString("# Regenerate with: go test ./internal/harness -run TestGoldenTrace -update\n")
+	for _, l := range header {
+		b.WriteString(l)
+		b.WriteString("\n")
+	}
 	n := len(lines)
 	if n > 64 {
 		n = 64

@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sync"
 
+	"rair/internal/collective"
 	"rair/internal/faults"
 	"rair/internal/invariant"
 	"rair/internal/msg"
@@ -58,6 +59,15 @@ type RunConfig struct {
 	// Check, if non-nil, runs the runtime invariant checker at every tick
 	// barrier; see network.Params.Check.
 	Check *invariant.Config
+	// Collective, if non-nil, co-runs a collective workload alongside the
+	// Bernoulli apps: its packets are delivered back to the collective
+	// source (driving the phase dependency barriers) instead of the
+	// statistics collector, so Apps' latency figures measure the victim
+	// applications only, the way RunPARSEC excludes the adversary.
+	Collective *collective.Spec
+	// CollectiveDone, if set, receives the collective's final progress
+	// snapshot when the run (including drain) finishes.
+	CollectiveDone func(collective.Progress)
 }
 
 // Run executes one simulation point and returns its statistics collector.
@@ -67,13 +77,29 @@ func Run(rc RunConfig) *stats.Collector {
 	// The collector copies packet fields at ejection and nothing else
 	// observes packets, so every run can recycle them through a freelist.
 	pool := msg.NewPool()
+	// The collective source (when configured) consumes its own deliveries
+	// through OnEject, which the network runs on the ticking goroutine in
+	// node order — the dependency barriers are deterministic at any worker
+	// count. src is bound after the network exists; no ejection can occur
+	// before the first Tick.
+	var src *collective.Source
+	onEject := col.OnEject
+	if rc.Collective != nil {
+		onEject = func(p *msg.Packet, now int64) {
+			if p.App == rc.Collective.App {
+				src.Deliver(p, now)
+				return
+			}
+			col.OnEject(p, now)
+		}
+	}
 	net := network.New(network.Params{
 		Router:    rc.Router,
 		Regions:   rc.Regions,
 		Alg:       rc.Scheme.Alg(mesh),
 		Sel:       rc.Scheme.Sel(rc.Regions, rc.Router),
 		Policy:    rc.Scheme.Policy,
-		OnEject:   col.OnEject,
+		OnEject:   onEject,
 		Recycle:   pool.Put,
 		Workers:   rc.Workers,
 		Telemetry: rc.Telemetry,
@@ -81,20 +107,43 @@ func Run(rc RunConfig) *stats.Collector {
 		Check:     rc.Check,
 	})
 	defer net.Close()
-	gen := traffic.NewGenerator(rc.Apps, rc.Seed, func(node int, p *msg.Packet, now int64) {
+	inject := func(node int, p *msg.Packet, now int64) {
 		net.NI(node).Inject(p, now)
-	})
+	}
+	gen := traffic.NewGenerator(rc.Apps, rc.Seed, inject)
 	gen.Pool = pool
 	end := rc.Dur.Warmup + rc.Dur.Measure
 	gen.Until = end
 
 	eng := sim.NewEngine()
 	eng.Register(gen)
+	if rc.Collective != nil {
+		src = collective.NewSource(*rc.Collective, rc.Seed, inject)
+		src.Pool = pool
+		src.Until = end
+		eng.Register(src)
+	}
 	eng.Register(net)
 	eng.Run(end)
 	// Drain: the generator self-stops at Until, so ticking it is a no-op.
 	eng.RunUntil(net.Drained, rc.Dur.Drain)
+	if src != nil {
+		finishCollective(rc, src)
+	}
 	return col
+}
+
+// finishCollective publishes a finished run's collective progress: into the
+// telemetry collector's report (when instrumented) and to the caller's
+// CollectiveDone hook.
+func finishCollective(rc RunConfig, src *collective.Source) {
+	prog := src.Progress()
+	if rc.Telemetry != nil {
+		rc.Telemetry.AttachCollective(prog.Telemetry(rc.Collective.App))
+	}
+	if rc.CollectiveDone != nil {
+		rc.CollectiveDone(prog)
+	}
 }
 
 // RunParallel executes every configuration concurrently and returns

@@ -441,6 +441,87 @@ func Guards() []Guard {
 			},
 		},
 		{
+			Experiment: "coll-synth",
+			Name:       "RAIR protects victims from the collective: RA_RAIR slowdown below RO_RR, interference present",
+			Check: func(t *CSVTable) error {
+				col := "avg slowdown"
+				rr, err := t.Value("RO_RR", col)
+				if err != nil {
+					return err
+				}
+				rair, err := t.Value("RA_RAIR", col)
+				if err != nil {
+					return err
+				}
+				if rr < 1.04 {
+					return fmt.Errorf("no interference to protect against: RO_RR victim slowdown %.3f < 1.04", rr)
+				}
+				if rair > rr-0.02 {
+					return fmt.Errorf("RA_RAIR (%.3f) does not reduce victim slowdown vs RO_RR (%.3f) by >= 0.02", rair, rr)
+				}
+				if rair < 0.95 {
+					return fmt.Errorf("RA_RAIR victim slowdown %.3f implausibly below 0.95", rair)
+				}
+				return nil
+			},
+		},
+		{
+			Experiment: "coll-synth",
+			Name:       "bounded collective cost: every scheme completes rounds, RA_RAIR CCT within 1.5x of RO_RR",
+			Check: func(t *CSVTable) error {
+				var rrCCT, rairCCT float64
+				for _, scheme := range []string{"RO_RR", "RA_DBAR", "RO_Rank", "RA_RAIR"} {
+					rounds, err := t.Value(scheme, "rounds")
+					if err != nil {
+						return err
+					}
+					if rounds < 1 {
+						return fmt.Errorf("%s completed no collective rounds", scheme)
+					}
+					cct, err := t.Value(scheme, "cct")
+					if err != nil {
+						return err
+					}
+					if cct <= 0 {
+						return fmt.Errorf("%s has nonpositive CCT %.1f", scheme, cct)
+					}
+					switch scheme {
+					case "RO_RR":
+						rrCCT = cct
+					case "RA_RAIR":
+						rairCCT = cct
+					}
+				}
+				if rairCCT > 1.5*rrCCT {
+					return fmt.Errorf("protection overpriced: RA_RAIR CCT %.1f > 1.5x RO_RR CCT %.1f", rairCCT, rrCCT)
+				}
+				return nil
+			},
+		},
+		{
+			Experiment: "coll-allreduce",
+			Name:       "PARSEC co-run sane: all schemes complete rounds, victim slowdowns bounded",
+			Check: func(t *CSVTable) error {
+				for _, scheme := range []string{"RO_RR", "RA_DBAR", "RO_Rank", "RA_RAIR"} {
+					rounds, err := t.Value(scheme, "rounds")
+					if err != nil {
+						return err
+					}
+					if rounds < 1 {
+						return fmt.Errorf("%s completed no collective rounds", scheme)
+					}
+					avg, err := t.Value(scheme, "avg slowdown")
+					if err != nil {
+						return err
+					}
+					if avg < 0.90 || avg > 1.50 {
+						return fmt.Errorf("%s victim slowdown %.3f outside [0.90, 1.50]", scheme, avg)
+					}
+				}
+				return nil
+			},
+		},
+		{
 			Experiment: "batch",
 			Name:       "STC slowdown grows with batching interval (Section III.A weakness)",
 			Check: func(t *CSVTable) error {

@@ -65,6 +65,20 @@ RO_Rank_B1000,4.20,2.40,2.21,1.96,2.69
 RO_Rank_B4000,17.65,6.13,4.70,4.75,8.31
 `
 
+const collSynthCSV = `scheme,app0,app1,app2,avg slowdown,cct,rounds
+RO_RR,1.07,1.07,1.09,1.08,1477.6,8
+RA_DBAR,1.07,1.08,1.09,1.08,1466.1,8
+RO_Rank,1.03,1.05,1.04,1.04,1475.6,8
+RA_RAIR,1.02,1.02,1.02,1.02,1484.0,8
+`
+
+const collAllreduceCSV = `scheme,blackscholes,swaptions,fluidanimate,avg slowdown,cct,rounds
+RO_RR,1.04,1.00,1.01,1.02,1863.0,6
+RA_DBAR,1.03,1.03,1.02,1.03,1910.7,6
+RO_Rank,1.04,0.99,1.00,1.01,1971.0,6
+RA_RAIR,1.00,1.00,1.00,1.00,1931.3,6
+`
+
 func goodRecords() []Record {
 	recs := []Record{
 		{Experiment: "fig9", CSV: fig9CSV},
@@ -74,6 +88,8 @@ func goodRecords() []Record {
 		{Experiment: "fig17", CSV: fig17CSV},
 		{Experiment: "curve", CSV: curveCSV},
 		{Experiment: "batch", CSV: batchCSV},
+		{Experiment: "coll-synth", CSV: collSynthCSV},
+		{Experiment: "coll-allreduce", CSV: collAllreduceCSV},
 	}
 	for i := range recs {
 		recs[i].Seed = 1
@@ -138,6 +154,14 @@ func TestGuardsCatchBrokenShapes(t *testing.T) {
 		{"batch flat", "batch", "RO_Rank_B4000,17.65,6.13,4.70,4.75,8.31", "RO_Rank_B4000,1.30,1.30,1.30,1.30,1.30"},
 		// fig14: RAIR harmful on average.
 		{"fig14 harmful", "fig14", ",+0.5%", ",-6.0%"},
+		// coll-synth: RAIR loses its protection edge over the baseline.
+		{"coll-synth no protection", "coll-synth", "RA_RAIR,1.02,1.02,1.02,1.02", "RA_RAIR,1.08,1.08,1.08,1.08"},
+		// coll-synth: protection bought with an unbounded collective stall.
+		{"coll-synth cct blowup", "coll-synth", "RA_RAIR,1.02,1.02,1.02,1.02,1484.0", "RA_RAIR,1.02,1.02,1.02,1.02,9484.0"},
+		// coll-synth: a scheme stops completing rounds entirely.
+		{"coll-synth no rounds", "coll-synth", "RO_Rank,1.03,1.05,1.04,1.04,1475.6,8", "RO_Rank,1.03,1.05,1.04,1.04,0.0,0"},
+		// coll-allreduce: victim slowdown outside the sanity band.
+		{"coll-allreduce runaway slowdown", "coll-allreduce", "RA_DBAR,1.03,1.03,1.02,1.03", "RA_DBAR,1.03,1.03,1.02,1.93"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

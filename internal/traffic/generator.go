@@ -32,7 +32,9 @@ type AppTraffic struct {
 	Components []Component
 	// ShortFrac is the fraction of 1-flit short packets; the remainder
 	// are 5-flit long packets. The paper assigns the two lengths
-	// uniformly, so the default (0 ⇒ 0.5) matches it.
+	// uniformly, so the default (0 ⇒ 0.5) matches it. A negative value
+	// means all-long (the explicit spelling of 0, which the default
+	// claims); values above 1 clamp to all-short.
 	ShortFrac float64
 	// SplitClasses routes short packets as ClassRequest and long packets
 	// as ClassResponse (for two-class networks); otherwise everything is
@@ -41,8 +43,13 @@ type AppTraffic struct {
 }
 
 func (a AppTraffic) shortFrac() float64 {
-	if a.ShortFrac == 0 {
+	switch {
+	case a.ShortFrac == 0:
 		return 0.5
+	case a.ShortFrac < 0:
+		return 0
+	case a.ShortFrac > 1:
+		return 1
 	}
 	return a.ShortFrac
 }

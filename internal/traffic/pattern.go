@@ -56,7 +56,10 @@ func (u Uniform) Dest(src int, rng *sim.RNG) int {
 	return u.Nodes[idx]
 }
 
-// Transpose sends (x,y) to (y,x) on a square mesh.
+// Transpose sends (x,y) to (y,x) on a square mesh. On a non-square mesh the
+// swapped coordinate can fall off the grid, so each coordinate wraps into
+// range ((y mod W, x mod H)); on square meshes this is exactly the classic
+// transpose, and everywhere else every destination is still a valid node.
 type Transpose struct {
 	Mesh *topology.Mesh
 }
@@ -65,7 +68,14 @@ type Transpose struct {
 func (Transpose) Name() string { return "TP" }
 
 // Dest implements Pattern.
-func (t Transpose) Dest(src int, _ *sim.RNG) int { return t.Mesh.Transpose(src) }
+func (t Transpose) Dest(src int, _ *sim.RNG) int {
+	m := t.Mesh
+	if m.W == m.H {
+		return m.Transpose(src)
+	}
+	c := m.Coord(src)
+	return m.ID(topology.Coord{X: c.Y % m.W, Y: c.X % m.H})
+}
 
 // BitComplement sends node i to N-1-i.
 type BitComplement struct {
@@ -148,12 +158,28 @@ func PatternByName(name string, mesh *topology.Mesh) Pattern {
 	case "BC":
 		return BitComplement{Mesh: mesh}
 	case "HS":
+		// On tiny or 1-wide meshes the quarter points coincide; keep each
+		// hotspot once so duplicates don't silently double a node's share
+		// of the hotspot draws.
 		qx, qy := mesh.W/4, mesh.H/4
-		hs := []int{
-			mesh.ID(topology.Coord{X: qx, Y: qy}),
-			mesh.ID(topology.Coord{X: mesh.W - 1 - qx, Y: qy}),
-			mesh.ID(topology.Coord{X: qx, Y: mesh.H - 1 - qy}),
-			mesh.ID(topology.Coord{X: mesh.W - 1 - qx, Y: mesh.H - 1 - qy}),
+		var hs []int
+		for _, c := range []topology.Coord{
+			{X: qx, Y: qy},
+			{X: mesh.W - 1 - qx, Y: qy},
+			{X: qx, Y: mesh.H - 1 - qy},
+			{X: mesh.W - 1 - qx, Y: mesh.H - 1 - qy},
+		} {
+			id := mesh.ID(c)
+			seen := false
+			for _, h := range hs {
+				if h == id {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				hs = append(hs, id)
+			}
 		}
 		return Hotspot{Hotspots: hs, Frac: 0.25, Background: Uniform{Nodes: all}}
 	}

@@ -313,3 +313,96 @@ func TestSaturationRateEdgeCases(t *testing.T) {
 		t.Fatal("self-only traffic must be 0")
 	}
 }
+
+func TestTransposeNonSquare(t *testing.T) {
+	// The swapped coordinate wraps into range: every destination is a
+	// valid node on any mesh shape, and the square case is the classic
+	// transpose.
+	for _, dims := range [][2]int{{4, 2}, {2, 4}, {1, 8}, {8, 1}, {3, 5}} {
+		m := topology.NewMesh(dims[0], dims[1])
+		tp := Transpose{Mesh: m}
+		for src := 0; src < m.N(); src++ {
+			d := tp.Dest(src, nil)
+			if d < 0 || d >= m.N() {
+				t.Fatalf("%dx%d: dest(%d) = %d out of range", m.W, m.H, src, d)
+			}
+			c, dc := m.Coord(src), m.Coord(d)
+			if dc.X != c.Y%m.W || dc.Y != c.X%m.H {
+				t.Fatalf("%dx%d: dest(%d) = %v, want wrapped transpose of %v", m.W, m.H, src, dc, c)
+			}
+		}
+	}
+	m := mesh8()
+	for src := 0; src < m.N(); src++ {
+		if (Transpose{Mesh: m}).Dest(src, nil) != m.Transpose(src) {
+			t.Fatal("square mesh must use the exact transpose")
+		}
+	}
+}
+
+func TestHotspotDedupOnDegenerateMeshes(t *testing.T) {
+	for _, dims := range [][2]int{{1, 8}, {8, 1}, {2, 2}, {1, 1}, {1, 4}} {
+		m := topology.NewMesh(dims[0], dims[1])
+		hs := PatternByName("HS", m).(Hotspot)
+		seen := map[int]bool{}
+		for _, h := range hs.Hotspots {
+			if h < 0 || h >= m.N() {
+				t.Fatalf("%dx%d: hotspot %d out of range", m.W, m.H, h)
+			}
+			if seen[h] {
+				t.Fatalf("%dx%d: duplicate hotspot %d", m.W, m.H, h)
+			}
+			seen[h] = true
+		}
+		if len(hs.Hotspots) == 0 {
+			t.Fatalf("%dx%d: no hotspots", m.W, m.H)
+		}
+	}
+	// A full-size mesh keeps all four quarter-point hotspots.
+	if got := len(PatternByName("HS", mesh8()).(Hotspot).Hotspots); got != 4 {
+		t.Fatalf("8x8 hotspots = %d, want 4", got)
+	}
+}
+
+func TestPatternsInRangeOnBoundaryMeshes(t *testing.T) {
+	// Every named pattern must return in-range destinations on non-square
+	// and 1-wide meshes.
+	rng := sim.NewRNG(7)
+	for _, dims := range [][2]int{{1, 8}, {8, 1}, {4, 2}, {3, 3}, {1, 1}} {
+		m := topology.NewMesh(dims[0], dims[1])
+		for _, name := range []string{"UR", "TP", "BC", "HS"} {
+			p := PatternByName(name, m)
+			for src := 0; src < m.N(); src++ {
+				for i := 0; i < 20; i++ {
+					if d := p.Dest(src, rng); d < 0 || d >= m.N() {
+						t.Fatalf("%dx%d %s: dest(%d) = %d out of range", m.W, m.H, name, src, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestShortFracClamp(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0.5}, {-1, 0}, {-0.001, 0}, {0.25, 0.25}, {1, 1}, {1.5, 1}, {2, 1},
+	}
+	for _, c := range cases {
+		if got := (AppTraffic{ShortFrac: c.in}).shortFrac(); got != c.want {
+			t.Fatalf("shortFrac(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// SaturationRate must stay finite and positive with a clamped negative
+	// ShortFrac (all-long packets: lower rate than all-short).
+	m := mesh8()
+	all := make([]int, 64)
+	for i := range all {
+		all[i] = i
+	}
+	long := AppTraffic{Nodes: all, Components: []Component{IntraUR(all)}, ShortFrac: -1}
+	short := AppTraffic{Nodes: all, Components: []Component{IntraUR(all)}, ShortFrac: 1}
+	rl, rs := SaturationRate(m, long, 1000, 1), SaturationRate(m, short, 1000, 1)
+	if !(rl > 0 && rs > 0 && rl < rs) {
+		t.Fatalf("all-long rate %v must be positive and below all-short %v", rl, rs)
+	}
+}
