@@ -57,6 +57,11 @@ type benchEntry struct {
 	// cycles across the batch per wall second.
 	CyclesPerSBatched float64 `json:"cycles_per_s_batched"`
 	BatchWidth        int     `json:"batch_width"`
+	// CyclesPerSMesh32 is the 32×32-mesh (1024-router) scaling probe;
+	// ProbeCycles the simulated-cycle budget every speed probe above ran
+	// with (the -cycles flag).
+	CyclesPerSMesh32 float64 `json:"cycles_per_s_mesh32,omitempty"`
+	ProbeCycles      int     `json:"probe_cycles,omitempty"`
 	// HeadlineReduction is Figure 14's average APL reduction versus RO_RR
 	// per scheme (the paper's headline result).
 	HeadlineReduction map[string]float64 `json:"fig14_avg_apl_reduction_vs_RO_RR"`
@@ -120,8 +125,10 @@ func appendBenchEntry(path string, entry benchEntry) error {
 
 // throughput measures simulator speed in cycles/s on the standard probe (the
 // 64-node quadrant mesh under moderate uniform load with RA_RAIR, the same
-// scenario as BenchmarkSimulatorThroughput).
-func throughput(workers int) float64 {
+// scenario as BenchmarkSimulatorThroughput), simulating `cycles` cycles.
+// Every speed probe takes the cycle budget from the single -cycles flag so
+// the CI smoke, the saturated probe and the worker sweep cannot drift apart.
+func throughput(workers, cycles int) float64 {
 	sim, err := rair.New(rair.Config{Layout: rair.LayoutQuadrants, Scheme: "RA_RAIR", Seed: 1, Workers: workers})
 	if err != nil {
 		panic(err)
@@ -131,18 +138,37 @@ func throughput(workers int) float64 {
 			panic(err)
 		}
 	}
-	const cycles = 20000
 	start := time.Now()
-	if _, err := sim.Run(rair.Phases{Warmup: 0, Measure: cycles, Drain: 0}); err != nil {
+	if _, err := sim.Run(rair.Phases{Warmup: 0, Measure: int64(cycles), Drain: 0}); err != nil {
 		panic(err)
 	}
-	return cycles / time.Since(start).Seconds()
+	return float64(cycles) / time.Since(start).Seconds()
+}
+
+// throughputMesh32 measures the scaling probe: the same quadrant scenario
+// scaled to a 32×32 mesh (1024 routers), where shard balance and cache
+// footprint, not per-router cost, dominate.
+func throughputMesh32(cycles int) float64 {
+	sim, err := rair.New(rair.Config{MeshW: 32, MeshH: 32, Layout: rair.LayoutQuadrants, Scheme: "RA_RAIR", Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	for a := 0; a < 4; a++ {
+		if err := sim.AddApp(rair.AppSpec{App: a, LoadFrac: 0.5, GlobalFrac: 0.2}); err != nil {
+			panic(err)
+		}
+	}
+	start := time.Now()
+	if _, err := sim.Run(rair.Phases{Warmup: 0, Measure: int64(cycles), Drain: 0}); err != nil {
+		panic(err)
+	}
+	return float64(cycles) / time.Since(start).Seconds()
 }
 
 // throughputBatched measures the lockstep batch runner's aggregate speed on
 // the same probe scenario: width independent replications (seeds 1..width)
 // advanced in one pass, reported as total simulated cycles per wall second.
-func throughputBatched(width int) float64 {
+func throughputBatched(width, cycles int) float64 {
 	sim, err := rair.New(rair.Config{Layout: rair.LayoutQuadrants, Scheme: "RA_RAIR", Seed: 1})
 	if err != nil {
 		panic(err)
@@ -156,12 +182,11 @@ func throughputBatched(width int) float64 {
 	for i := range seeds {
 		seeds[i] = uint64(i + 1)
 	}
-	const cycles = 20000
 	start := time.Now()
-	if _, err := sim.RunBatch(rair.Phases{Warmup: 0, Measure: cycles, Drain: 0}, seeds, width); err != nil {
+	if _, err := sim.RunBatch(rair.Phases{Warmup: 0, Measure: int64(cycles), Drain: 0}, seeds, width); err != nil {
 		panic(err)
 	}
-	return float64(width) * cycles / time.Since(start).Seconds()
+	return float64(width) * float64(cycles) / time.Since(start).Seconds()
 }
 
 // obsOpts carries the observability-export flags into the probe runs:
@@ -390,6 +415,7 @@ func main() {
 	quick := flag.Bool("quick", false, "use reduced warmup/measurement windows")
 	name := flag.String("experiment", "", "run a single experiment (see -list)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	cycles := flag.Int("cycles", 20000, "simulated-cycle budget shared by every speed probe (-json serial/sharded/batched/mesh32)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	csvDir := flag.String("csv", "", "also write each experiment's table as CSV into this directory")
 	jsonPath := flag.String("json", "", "write a machine-readable summary (cycles/s, headline reductions, timings) to this path, e.g. BENCH_results.json")
@@ -518,15 +544,17 @@ func main() {
 		Quick:             *quick,
 		Seed:              *seed,
 		GOMAXPROCS:        runtime.GOMAXPROCS(0),
-		CyclesPerS:        throughput(0),
+		CyclesPerS:        throughput(0, *cycles),
 		CyclesPerSSharded: map[string]float64{},
-		CyclesPerSBatched: throughputBatched(harness.DefaultBatchWidth),
+		CyclesPerSBatched: throughputBatched(harness.DefaultBatchWidth, *cycles),
 		BatchWidth:        harness.DefaultBatchWidth,
+		CyclesPerSMesh32:  throughputMesh32(*cycles),
+		ProbeCycles:       *cycles,
 		HeadlineReduction: map[string]float64{},
 		Experiments:       timings,
 	}
 	for _, w := range []int{1, 2, 4} {
-		entry.CyclesPerSSharded[strconv.Itoa(w)] = throughput(w)
+		entry.CyclesPerSSharded[strconv.Itoa(w)] = throughput(w, *cycles)
 	}
 	dur := harness.PaperDurations()
 	if *quick {
@@ -540,8 +568,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rairbench:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s (%.0f cycles/s serial; sharded x1 %.0f, x2 %.0f, x4 %.0f; batched x%d %.0f)\n",
+	fmt.Printf("wrote %s (%.0f cycles/s serial; sharded x1 %.0f, x2 %.0f, x4 %.0f; batched x%d %.0f; mesh32 %.0f)\n",
 		*jsonPath, entry.CyclesPerS,
 		entry.CyclesPerSSharded["1"], entry.CyclesPerSSharded["2"], entry.CyclesPerSSharded["4"],
-		entry.BatchWidth, entry.CyclesPerSBatched)
+		entry.BatchWidth, entry.CyclesPerSBatched, entry.CyclesPerSMesh32)
 }

@@ -99,6 +99,7 @@ func run() error {
 	telTrace := flag.Uint64("telemetry-trace", 0, "trace every N-th packet's flit lifecycle (0 = off)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this path")
+	workers := flag.Int("workers", -1, "tick-engine shard count: -1 = take the config file's value, 0 = auto-select from GOMAXPROCS, >= 1 explicit (results are bit-identical at any count)")
 	faultSpec := flag.String("faults", "", "inject deterministic faults, e.g. drop=0.001,corrupt=0.001,leak=0.0005,stall=0.0002")
 	checkInv := flag.Bool("check-invariants", false, "run the runtime invariant checker at every cycle")
 	attribution := flag.Bool("attribution", false, "enable the interference blame accountant (implies -telemetry collection)")
@@ -147,6 +148,12 @@ func run() error {
 	if *checkInv {
 		f.Config.CheckInvariants = true
 	}
+	switch {
+	case *workers == 0:
+		f.Config.Workers = runtime.GOMAXPROCS(0)
+	case *workers > 0:
+		f.Config.Workers = *workers
+	}
 
 	if *cpuprofile != "" {
 		cf, err := os.Create(*cpuprofile)
@@ -180,6 +187,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Header: the resolved shard count the engine actually ran with (the
+	// -workers 0 auto-selection and <= 1 serial collapse both land here).
+	fmt.Printf("workers: %d\n", rep.Workers)
 	fmt.Print(rep)
 	if rep.Faults != nil {
 		fmt.Println(rep.Faults)

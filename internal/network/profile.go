@@ -58,6 +58,11 @@ type ShardProfile struct {
 	RouterTicks int64 `json:"routerTicks"`
 	NITicks     int64 `json:"niTicks"`
 
+	// FastPathTicks counts router ticks served by the precomputed
+	// streaming fast path (no allocation replay). Read from the routers'
+	// own counters at snapshot time, so the hot path pays nothing extra.
+	FastPathTicks int64 `json:"fastPathTicks"`
+
 	// DirtyFlitWires/DirtyCredWires count wire visits in the phase-1
 	// dirty-bitmap sweeps (foreign wires, polled unconditionally, are not
 	// included).
@@ -147,6 +152,9 @@ func (n *Network) EngineProfile() *EngineProfile {
 			NITicks:        sp.niTicks,
 			DirtyFlitWires: sp.dirtyFlit,
 			DirtyCredWires: sp.dirtyCred,
+		}
+		for _, r := range sh.routers {
+			s.FastPathTicks += r.FastTicks()
 		}
 		if slots := int64(s.Nodes) * prof.cycles; slots > 0 {
 			s.RouterQuiescence = 1 - float64(s.RouterTicks)/float64(slots)

@@ -83,6 +83,7 @@ func (r *Router) STPending() int { return r.stPending }
 // invariant checker.
 func (r *Router) AuditMasks(fn func(desc string)) {
 	var rcN, vaN, activeN, stN int
+	var saPortsRef uint8
 	for d := topology.Dir(0); d < topology.NumDirs; d++ {
 		in := r.in[d]
 		var rcM, vaM, activeM, occM vcMask
@@ -110,13 +111,20 @@ func (r *Router) AuditMasks(fn func(desc string)) {
 		reportMask(fn, "in", d, "vaMask", in.vaMask, vaM)
 		reportMask(fn, "in", d, "activeMask", in.activeMask, activeM)
 		reportMask(fn, "in", d, "occMask", in.occMask, occM)
+		reportMask(fn, "in", d, "saElig", in.saElig, r.refSAElig(d))
+		if in.saElig != 0 {
+			saPortsRef |= 1 << uint(d)
+		}
 		if in.bufFlits != flits {
 			fn(fmt.Sprintf("in %s bufFlits=%d, buffers hold %d", d, in.bufFlits, flits))
 		}
 	}
+	if r.saPorts != saPortsRef {
+		fn(fmt.Sprintf("saPorts=%#x, per-port saElig sets give %#x", r.saPorts, saPortsRef))
+	}
 	for d := topology.Dir(0); d < topology.NumDirs; d++ {
 		out := r.out[d]
-		var freeM, creditM, fullM, drainM vcMask
+		var freeM, creditM, fullM, drainM, streamM vcMask
 		credits := 0
 		for i := range out.vcs {
 			v := &out.vcs[i]
@@ -133,17 +141,54 @@ func (r *Router) AuditMasks(fn func(desc string)) {
 			if v.owner != nil && v.tailSent {
 				drainM |= bit
 			}
+			if v.owner != nil && !v.tailSent {
+				streamM |= bit
+			}
 			credits += v.credits
 		}
 		reportMask(fn, "out", d, "freeMask", out.freeMask, freeM)
 		reportMask(fn, "out", d, "creditMask", out.creditMask, creditM)
 		reportMask(fn, "out", d, "fullMask", out.fullMask, fullM)
 		reportMask(fn, "out", d, "drainMask", out.drainMask, drainM)
+		reportMask(fn, "out", d, "streamMask", out.streamMask, streamM)
+		// Reverse-map audit: every live stream must point back at the one
+		// input VC feeding it (atomic allocation makes the map single-
+		// valued), and that input VC must agree on the forward route.
+		for m := out.streamMask; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros64(m)
+			v := &out.vcs[i]
+			if int(v.inPort) >= int(topology.NumDirs) || int(v.inVC) >= len(r.in[v.inPort].vcs) {
+				fn(fmt.Sprintf("out %s VC %d reverse map (%d,%d) out of range", d, i, v.inPort, v.inVC))
+				continue
+			}
+			ivc := &r.in[v.inPort].vcs[v.inVC]
+			if ivc.stage != stageActive || ivc.outPort != d || ivc.outVC != i || ivc.owner != v.owner {
+				fn(fmt.Sprintf("out %s VC %d reverse map (%d,%d) disagrees with input VC (stage=%d outPort=%s outVC=%d)",
+					d, i, v.inPort, v.inVC, ivc.stage, ivc.outPort, ivc.outVC))
+			}
+		}
 		if out.creditSum != credits {
 			fn(fmt.Sprintf("out %s creditSum=%d, counters hold %d", d, out.creditSum, credits))
 		}
 		if out.stValid {
 			stN++
+		}
+	}
+	if r.fastArmed {
+		if r.fastN == 0 {
+			fn("fast path armed with an empty plan")
+		}
+		for k := 0; k < r.fastN; k++ {
+			s := &r.fastPlan[k]
+			switch {
+			case !s.out.stValid:
+				fn(fmt.Sprintf("fast plan %d: output %s armed without a latched ST flit", k, s.outDir))
+			case bits.OnesCount64(s.out.streamMask) != 1:
+				fn(fmt.Sprintf("fast plan %d: output %s carries %d streams, fast path requires exactly 1",
+					k, s.outDir, bits.OnesCount64(s.out.streamMask)))
+			case s.ivc.stage != stageActive:
+				fn(fmt.Sprintf("fast plan %d: input VC no longer active", k))
+			}
 		}
 	}
 	if r.rcCount != rcN {
@@ -158,6 +203,27 @@ func (r *Router) AuditMasks(fn func(desc string)) {
 	if r.stPending != stN {
 		fn(fmt.Sprintf("stPending=%d, ST registers hold %d", r.stPending, stN))
 	}
+}
+
+// refSAElig recomputes input port d's SA_in candidate set from the
+// authoritative per-VC state — the full per-cycle rescan the incremental
+// saElig mask replaced. The predicate is ST-blind, matching the mask's
+// contract (SA_in filters the ST register per candidate). It is the shadow
+// reference for the invariant checker, the equivalence property test, and
+// the old-path micro-benchmark.
+func (r *Router) refSAElig(d topology.Dir) vcMask {
+	in := r.in[d]
+	var elig vcMask
+	for m := in.activeMask & in.occMask; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		vc := &in.vcs[i]
+		out := r.out[vc.outPort]
+		if !out.ejection && out.creditMask>>uint(vc.outVC)&1 == 0 {
+			continue
+		}
+		elig |= 1 << uint(i)
+	}
+	return elig
 }
 
 func reportMask(fn func(string), side string, d topology.Dir, name string, got, want vcMask) {

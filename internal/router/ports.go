@@ -76,6 +76,17 @@ type InputPort struct {
 	vaMask     vcMask // VCs waiting for a VC allocation (stageVA)
 	activeMask vcMask // VCs streaming flits (stageActive)
 	occMask    vcMask // VCs with a non-empty flit buffer
+
+	// saElig is the persistent SA_in candidate set: Active VCs with a
+	// buffered flit and a downstream credit (or an ejection output). The
+	// predicate is deliberately ST-blind — the ST register toggles every
+	// busy cycle and is filtered per candidate inside SA instead — so the
+	// bit moves only on occupancy and credit edges: body-flit arrival,
+	// credit return onto a dry streamed output VC, VA grant, and the SA
+	// pop itself. SA walks only this set instead of rescanning every
+	// active VC, making a cycle's allocation cost proportional to the
+	// VCs that can actually move.
+	saElig vcMask
 }
 
 // deliver accepts a flit arriving from the upstream link.
@@ -106,6 +117,13 @@ type outputVC struct {
 	credits  int
 	owner    *msg.Packet
 	tailSent bool
+
+	// Reverse map to the input VC streaming into this output VC, valid
+	// while the port's streamMask bit is set. Atomic allocation makes the
+	// map single-valued: an output VC is owned by exactly one packet,
+	// which occupies exactly one upstream input VC until its tail pops.
+	inPort int8
+	inVC   int8
 }
 
 // OutputPort is one output of the router: per-VC credit/allocation state,
@@ -133,6 +151,7 @@ type OutputPort struct {
 	creditMask vcMask // VCs with at least one downstream credit
 	fullMask   vcMask // VCs with the full credit stock
 	drainMask  vcMask // owned VCs with tail sent, awaiting credit return
+	streamMask vcMask // owned VCs whose tail has NOT been sent (live input streams)
 }
 
 // deliverCredit accepts a returned credit from the downstream router. The

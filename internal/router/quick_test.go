@@ -1,0 +1,181 @@
+package router
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rair/internal/msg"
+	"rair/internal/policy"
+	"rair/internal/topology"
+)
+
+// TestIncrementalCandidateEquivalence is the testing/quick property for the
+// persistent SA candidate sets: random event sequences — packet starts,
+// staggered flit arrivals, delayed credit returns, fault-style stall
+// cycles — drive a router while AuditMasks recomputes every incremental
+// structure (saElig/saPorts, streamMask, the output reverse maps, the
+// armed fast plan) from authoritative per-VC state after every cycle. Any
+// divergence between the event-maintained sets and the full reference
+// rescan fails the property with the offending seed.
+func TestIncrementalCandidateEquivalence(t *testing.T) {
+	var sent, fast int64
+	prop := func(seed uint64) bool {
+		return equivalenceScenario(t, int64(seed), &sent, &fast)
+	}
+	qc := &quick.Config{MaxCount: 40}
+	if testing.Short() {
+		qc.MaxCount = 8
+	}
+	if err := quick.Check(prop, qc); err != nil {
+		t.Fatal(err)
+	}
+	// Guard against a vacuous pass: the random episodes must actually
+	// move flits and engage the streaming fast path somewhere.
+	if sent == 0 || fast == 0 {
+		t.Fatalf("episodes too quiet to prove anything: %d flits sent, %d fast ticks", sent, fast)
+	}
+}
+
+// equivalenceScenario runs one ~300-cycle random episode on a 2×1-mesh
+// router with an east output link (credited) and a local ejection link
+// (uncredited), auditing every incremental mask against its reference
+// recomputation after every cycle. Reports whether every audit was clean.
+func equivalenceScenario(t *testing.T, seed int64, sent, fast *int64) bool {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cfg := DefaultConfig(1)
+	r, east := testRouter(cfg, policy.NewRoundRobin(0, 0))
+	local := NewLink(cfg.LinkLatency)
+	r.ConnectOut(topology.Local, local)
+
+	// Upstream traffic models for the two linkless source ports: one
+	// in-flight packet per (port, VC), delivered one flit per port per
+	// cycle at random (staggered arrivals create occupancy edges).
+	type feed struct {
+		pkt  *msg.Packet
+		next int
+	}
+	srcPorts := []topology.Dir{topology.North, topology.South}
+	feeds := map[topology.Dir][]*feed{}
+	nvc := cfg.VCsPerPort()
+	for _, d := range srcPorts {
+		feeds[d] = make([]*feed, nvc)
+	}
+	// Arrival VCs mirror what an upstream allocator could legally hand
+	// this router: mostly regional VCs, occasionally the escape VC.
+	arrivalVC := func() int {
+		var m vcMask
+		if rng.Intn(100) < 20 {
+			m = r.escapeMask
+		} else {
+			m = r.regionalMask
+		}
+		choices := make([]int, 0, nvc)
+		for i := 0; i < nvc; i++ {
+			if m>>uint(i)&1 == 1 {
+				choices = append(choices, i)
+			}
+		}
+		return choices[rng.Intn(len(choices))]
+	}
+
+	// Credits for flits that left eastwards are returned out of order and
+	// with random delay, driving the credit-dry/credit-refill events.
+	var heldCredits []int
+	nextID := uint64(1)
+	var now int64
+	clean := true
+	audit := func() {
+		r.AuditMasks(func(desc string) {
+			t.Logf("seed %d cycle %d: %s", seed, now, desc)
+			clean = false
+		})
+	}
+
+	for cycle := 0; cycle < 300 && clean; cycle++ {
+		// Link phase by hand: drain both output wires, bank the east
+		// flit's credit, deliver any credit already in flight.
+		if f, fok, cr, cok := east.Shift(); true {
+			if cok {
+				r.DeliverCredit(topology.East, cr)
+			}
+			if fok {
+				heldCredits = append(heldCredits, f.VC)
+			}
+		}
+		local.Shift()
+		if len(heldCredits) > 0 && rng.Intn(100) < 70 {
+			i := rng.Intn(len(heldCredits))
+			east.SendCredit(heldCredits[i])
+			heldCredits = append(heldCredits[:i], heldCredits[i+1:]...)
+		}
+
+		// Injection phase: per source port, continue or start at most one
+		// upstream stream (one flit per port wire per cycle).
+		for _, d := range srcPorts {
+			if rng.Intn(100) >= 70 {
+				continue
+			}
+			in := r.in[d]
+			// Prefer continuing a random in-flight feed with buffer room.
+			order := rng.Perm(nvc)
+			delivered := false
+			for _, v := range order {
+				fd := feeds[d][v]
+				if fd == nil || in.vcs[v].buf.Len() >= cfg.Depth {
+					continue
+				}
+				fl := msg.FlitAt(fd.pkt, fd.next)
+				fl.VC = v
+				r.DeliverFlit(d, fl)
+				fd.next++
+				if fd.next == fd.pkt.Size {
+					feeds[d][v] = nil
+				}
+				delivered = true
+				break
+			}
+			if delivered {
+				continue
+			}
+			// Otherwise start a new packet on a free VC.
+			v := arrivalVC()
+			if feeds[d][v] != nil || in.vcs[v].owner != nil {
+				continue
+			}
+			dst := 0
+			if rng.Intn(100) < 60 {
+				dst = 1
+			}
+			pkt := &msg.Packet{
+				ID: nextID, App: 0, Src: 0, Dst: dst,
+				Size: 1 + rng.Intn(8), Class: msg.ClassRequest,
+			}
+			nextID++
+			fd := &feed{pkt: pkt}
+			fl := msg.FlitAt(pkt, 0)
+			fl.VC = v
+			r.DeliverFlit(d, fl)
+			fd.next = 1
+			if fd.next < pkt.Size {
+				feeds[d][v] = fd
+			}
+		}
+
+		// Compute phase, with fault-style stall cycles: the engine visits
+		// a stalled router without ticking it, while links keep moving.
+		if rng.Intn(100) < 10 {
+			audit()
+			continue
+		}
+		r.Tick(now)
+		now++
+		audit()
+	}
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		*sent += r.FlitsSent(d)
+	}
+	*fast += r.FastTicks()
+	return clean
+}

@@ -13,6 +13,16 @@ import (
 	"rair/internal/topology"
 )
 
+// fastStream is one armed stream of the fast path: the input VC whose
+// flits are being pumped, its ports, and the output direction (for the
+// flits-sent counter and stList bookkeeping on unlatch).
+type fastStream struct {
+	ivc    *inputVC
+	inp    *InputPort
+	out    *OutputPort
+	outDir topology.Dir
+}
+
 // routeEntry is one cached route: the algorithm's candidate directions for
 // a destination and the single deadlock-free escape direction.
 type routeEntry struct {
@@ -56,6 +66,10 @@ type Router struct {
 	in  [topology.NumDirs]*InputPort
 	out [topology.NumDirs]*OutputPort
 
+	// nvc caches cfg.VCsPerPort() for the hot paths (the accessor
+	// multiplies three config fields on every call).
+	nvc int
+
 	vaArb    []*arbiter.Prioritized // per global output VC index
 	saInArb  [topology.NumDirs]*arbiter.Prioritized
 	saOutArb [topology.NumDirs]*arbiter.Prioritized
@@ -82,6 +96,27 @@ type Router struct {
 	// stList holds the output ports with an occupied ST register, so ST
 	// only visits ports with a flit to send.
 	stList []topology.Dir
+
+	// saPorts marks input ports with a non-empty saElig set, so SA_in
+	// visits only ports that actually have a candidate this cycle.
+	saPorts uint8
+
+	// Event-driven flit streaming. When a cycle's allocation resolves
+	// with no arbitration (every granted port had a single candidate, no
+	// SA_out contention, no held ST, no candidate left waiting), the
+	// winning streams are recorded in fastPlan and fastArmed is set: the
+	// next Tick pumps each stream through a fused ST+SA path without
+	// re-running arbitration — legal because the arbiter pointers are
+	// already parked past the sole requestor (GrantSingle is idempotent
+	// for a repeating single winner), so replaying the slow path would
+	// reproduce exactly this outcome. Any event that could change the
+	// outcome (a new SA candidate appearing, a VA grant, a tail, a credit
+	// dry-up, a link hold) clears fastArmed and the slow path re-derives
+	// everything from the masks, which are kept exact in both modes.
+	fastArmed bool
+	fastN     int
+	fastPlan  [topology.NumDirs]fastStream
+	fastTicks int64
 
 	// DBAR congestion tables: cong[d][k] is the (k+1)-cycle-old occupancy
 	// of the router k+1 hops away in direction d. The network fills
@@ -169,6 +204,7 @@ func NewInStore(cfg Config, node, app int, mesh *topology.Mesh, regions *region.
 		r.saTab, r.vaTab = t.PriorityTables()
 	}
 	v := cfg.VCsPerPort()
+	r.nvc = v
 	nOut := int(topology.NumDirs) * v
 	nIn := int(topology.NumDirs) * v
 	r.vaArb = make([]*arbiter.Prioritized, nOut)
@@ -266,9 +302,13 @@ func (r *Router) ConnectIn(dir topology.Dir, l *Link) { r.in[dir].link = l }
 func (r *Router) ConnectOut(dir topology.Dir, l *Link) { r.out[dir].link = l }
 
 // DeliverFlit accepts a flit arriving on the input port at dir. The network
-// calls it when the attached link's delay elapses.
+// calls it when the attached link's delay elapses. A body/tail flit landing
+// in an Active VC's empty buffer can complete SA eligibility, so the
+// candidate bit is re-derived (heads enter through RC/VA instead, and the
+// VA grant re-derives the bit when the stream goes Active).
 func (r *Router) DeliverFlit(dir topology.Dir, f msg.Flit) {
-	r.in[dir].deliver(f)
+	in := r.in[dir]
+	in.deliver(f)
 	if f.Type.IsHead() {
 		r.rcCount++
 		r.soa.Work[r.li]++
@@ -278,18 +318,46 @@ func (r *Router) DeliverFlit(dir topology.Dir, f msg.Flit) {
 		} else {
 			r.soa.ForeignOcc[r.li]++
 		}
+	} else if in.activeMask>>uint(f.VC)&1 == 1 && in.saElig>>uint(f.VC)&1 == 0 {
+		// The arrival fills an Active VC's empty buffer; with a credit
+		// downstream the stream is a fresh SA candidate (0→1 edges also
+		// invalidate any armed fast plan).
+		vc := &in.vcs[f.VC]
+		out := r.out[vc.outPort]
+		if out.ejection || out.creditMask>>uint(vc.outVC)&1 == 1 {
+			in.saElig |= 1 << uint(f.VC)
+			r.saPorts |= 1 << uint(dir)
+			r.fastArmed = false
+		}
 	}
 }
 
 // DeliverCredit accepts a credit returned on the output port at dir. The
 // port joins the release scan only if something is actually draining there:
 // a credit arriving while drainMask is clear cannot complete an atomic-reuse
-// condition (the tail-send that starts a drain marks the port itself).
+// condition (the tail-send that starts a drain marks the port itself). A
+// credit refilling a dry VC with a live input stream can complete that
+// stream's SA eligibility; the reverse map locates the input VC without a
+// scan. Credits landing on top of a non-zero stock cannot change
+// eligibility and skip the re-derivation.
 func (r *Router) DeliverCredit(dir topology.Dir, vc int) {
 	p := r.out[dir]
+	wasDry := p.vcs[vc].credits == 0
 	p.deliverCredit(vc, r.cfg.Depth)
 	if p.drainMask != 0 {
 		r.freeablePorts |= 1 << uint(dir)
+	}
+	if wasDry && p.streamMask>>uint(vc)&1 == 1 {
+		// The refill completes eligibility for the stream feeding this
+		// output VC (located through the reverse map; streamMask implies
+		// the input VC is Active) when it has a flit waiting.
+		ov := &p.vcs[vc]
+		in := r.in[ov.inPort]
+		if in.occMask>>uint(ov.inVC)&1 == 1 && in.saElig>>uint(ov.inVC)&1 == 0 {
+			in.saElig |= 1 << uint(ov.inVC)
+			r.saPorts |= 1 << uint(ov.inPort)
+			r.fastArmed = false
+		}
 	}
 }
 
@@ -367,8 +435,12 @@ func (r *Router) Tick(now int64) {
 		r.out[bits.TrailingZeros8(m)].free()
 	}
 	r.freeablePorts = 0
-	r.switchTraversal()
-	r.switchAllocation()
+	if r.fastArmed {
+		r.fastTick()
+	} else {
+		r.switchTraversal()
+		r.switchAllocation()
+	}
 	r.vcAllocation()
 	r.routeCompute()
 	r.updatePolicy()
@@ -489,42 +561,217 @@ func (r *Router) switchTraversal() {
 // at dir since construction (link-utilization instrumentation).
 func (r *Router) FlitsSent(dir topology.Dir) int64 { return r.flitsSent[dir] }
 
+// FastTicks reports how many cycles the router advanced through the
+// event-driven streaming fast path (engine self-profiling).
+func (r *Router) FastTicks() int64 { return r.fastTicks }
+
+// fastTick advances each armed stream one flit through a fused ST+SA step:
+// send the latched flit, then pop the stream's next flit straight into the
+// just-drained ST register, skipping re-arbitration. Bit-exact with the
+// slow path by construction: the plan only arms when the previous cycle's
+// allocation was forced (single candidate per port, no contention, no held
+// ST), GrantSingle is idempotent for a repeating sole winner, and every
+// event that could change the outcome disarms back to the slow path. The
+// ST register stays logically occupied across the pump (stValid, stPending,
+// Work and stList are all net-unchanged), exactly as a send-then-relatch
+// cycle of the slow path leaves them.
+func (r *Router) fastTick() {
+	r.fastTicks++
+	if r.tel != nil {
+		r.saStallScan()
+	}
+	for k := 0; k < r.fastN; k++ {
+		s := &r.fastPlan[k]
+		out := s.out
+		if out.link == nil || !out.link.CanSendFlit() {
+			// Link hold (faulty-link retransmission): keep the ST flit,
+			// charge as the slow keep path would, and fall back — the held
+			// register changes next cycle's allocation outcome.
+			if r.attr && out.st.Type.IsHead() {
+				r.tel.Charge(out.st.Pkt, msg.BlameFault)
+			}
+			r.fastArmed = false
+			continue
+		}
+		out.link.SendFlit(out.st)
+		r.flitsSent[s.outDir]++
+		if r.tel != nil {
+			r.tel.LinkFlit()
+			if out.st.Type.IsHead() && r.tel.Traced(out.st.Pkt.ID) {
+				r.tel.Lifecycle(out.st.Pkt.ID, telemetry.StageST, r.now)
+			}
+		}
+		vc := s.ivc
+		if vc.buf.Empty() {
+			r.fastUnlatch(s)
+			continue
+		}
+		ov := &out.vcs[vc.outVC]
+		if !out.ejection && ov.credits == 0 {
+			// The stream ran dry downstream: this cycle's slow path would
+			// have found the VC ineligible after draining ST (one credit
+			// stall), so release the register and re-arm the slow path.
+			if r.tel != nil {
+				r.tel.CreditStall()
+			}
+			r.fastUnlatch(s)
+			continue
+		}
+		// Fused SA pop. The flit can never be a head (heads enter through
+		// RC/VA/allocate, which disarms), so none of the head-only
+		// bookkeeping of the slow transfer applies.
+		f, _ := vc.buf.Pop()
+		s.inp.bufFlits--
+		if vc.buf.Empty() {
+			s.inp.occMask &^= 1 << uint(vc.idx)
+		}
+		f.VC = vc.outVC
+		out.st = f
+		if r.tel != nil {
+			native := r.regions.Native(r.node, vc.owner.App)
+			r.tel.SAInGrant(native)
+			r.tel.SAOutGrant(native)
+		}
+		if !out.ejection {
+			ov.credits--
+			out.creditSum--
+			out.fullMask &^= 1 << uint(vc.outVC)
+			if ov.credits == 0 {
+				out.creditMask &^= 1 << uint(vc.outVC)
+			}
+		}
+		if s.inp.link != nil {
+			if !s.inp.link.CanSendCredit() {
+				panic("router: credit wire busy (more than one dequeue per port per cycle)")
+			}
+			s.inp.link.SendCredit(vc.idx)
+		}
+		if f.Type.IsTail() {
+			if r.app >= 0 && vc.owner.App == r.app {
+				r.soa.NativeOcc[r.li]--
+			} else {
+				r.soa.ForeignOcc[r.li]--
+			}
+			vc.stage = stageIdle
+			vc.owner = nil
+			ov.tailSent = true
+			out.drainMask |= 1 << uint(vc.outVC)
+			out.streamMask &^= 1 << uint(vc.outVC)
+			r.freeablePorts |= 1 << uint(vc.outPort)
+			r.activeCount--
+			r.soa.Work[r.li]--
+			s.inp.activeMask &^= 1 << uint(vc.idx)
+			// The latched tail goes out through the next slow ST pass
+			// (stList still carries the port).
+			r.fastArmed = false
+		}
+		// Keep the candidate bit exact across the pop: clear it when the
+		// buffer emptied, the last credit drained, or a tail retired the
+		// stream (the clear-only mirror of the slow transfer's update).
+		if f.Type.IsTail() || vc.buf.Empty() || (!out.ejection && ov.credits == 0) {
+			if s.inp.saElig>>uint(vc.idx)&1 == 1 {
+				s.inp.saElig &^= 1 << uint(vc.idx)
+				if s.inp.saElig == 0 {
+					r.saPorts &^= 1 << uint(s.inp.dir)
+				}
+			}
+		}
+	}
+}
+
+// fastUnlatch retires an armed stream's ST register: the flit just left and
+// the stream has nothing to chain (empty buffer or dry credits), so release
+// the latch exactly as the slow ST stage would have and fall back to the
+// slow path.
+func (r *Router) fastUnlatch(s *fastStream) {
+	s.out.stValid = false
+	r.stPending--
+	r.soa.Work[r.li]--
+	for i := range r.stList {
+		if r.stList[i] == s.outDir {
+			r.stList = append(r.stList[:i], r.stList[i+1:]...)
+			break
+		}
+	}
+	r.fastArmed = false
+}
+
+// saStallScan replays the per-cycle stall telemetry the old full rescan
+// produced as a side effect: every active, non-empty VC missing from the
+// candidate set failed eligibility this cycle — a credit stall (unless its
+// output ST is held, which attribution classifies as a fault hold). The
+// counters are order-insensitive sums within a cycle, so emitting them from
+// a separate scan is bit-identical to emitting them inline. Only runs with
+// telemetry attached; with it off, stalled VCs cost nothing.
+func (r *Router) saStallScan() {
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		in := r.in[d]
+		for m := in.activeMask & in.occMask &^ in.saElig; m != 0; m &= m - 1 {
+			vc := &in.vcs[bits.TrailingZeros64(m)]
+			out := r.out[vc.outPort]
+			if !out.stValid {
+				r.tel.CreditStall()
+			}
+			if r.attr && vc.headPending {
+				r.chargeSAStall(vc, out)
+			}
+		}
+	}
+}
+
 // switchAllocation performs SA_in (one candidate VC per input port) and
 // SA_out (one winner per output port), both under the policy's SA priority
 // (MSP, Section IV.B). The winning flit is dequeued, its buffer credit is
 // returned upstream, and it is latched into the ST register.
+//
+// The candidate sets are not rescanned here: SA_in walks the persistent
+// per-port saElig masks (maintained at the eligibility event sites), so a
+// cycle's cost is proportional to the VCs that can actually move, not the
+// VCs provisioned. When the whole cycle resolves without arbitration, the
+// granted streams are recorded as a fast plan for event-driven streaming
+// (see fastTick).
 func (r *Router) switchAllocation() {
 	if r.activeCount == 0 {
 		return
 	}
-	v := r.cfg.VCsPerPort()
-	// SA_in: nominate one VC per input port. The candidate set is the
-	// mask intersection of streaming VCs and non-empty buffers, walked
-	// with TrailingZeros64; the per-VC eligibility check (output ST free,
-	// downstream credit available) reads the output port's credit mask
-	// instead of the counter. Ports with a single candidate skip priority
-	// computation and the arbiter scan (the outcome cannot depend on
-	// either). r.saReq stays all-false between ports: only the
-	// multi-candidate branch sets entries, and it clears them after use.
-	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+	if r.tel != nil {
+		r.saStallScan()
+	}
+	if r.saPorts == 0 {
+		return
+	}
+	v := r.nvc
+	// fastOK tracks whether this cycle's outcome was forced — no choice
+	// made by an arbiter anywhere, no ST register still held from last
+	// cycle — so replaying it is trivially deterministic. Only then may
+	// the granted streams arm the fast path.
+	fastOK := r.stPending == 0
+	r.fastN = 0
+	// nomMask marks input ports whose SA_in nomination survived; only
+	// those r.saOutVC entries are live this cycle (stale pointers from
+	// earlier cycles are never read, so the array is not cleared).
+	var nomMask uint8
+	// SA_in: nominate one VC per input port, visiting only ports with a
+	// candidate and only the candidate VCs themselves (the persistent
+	// saElig sets). The one eligibility term the sets do not carry — the
+	// output ST register, which toggles every busy cycle — is filtered
+	// here per candidate; a held register means the last send was pinned
+	// by a faulty link, so the branch is almost never taken. Ports with a
+	// single surviving candidate skip priority computation and the
+	// arbiter scan (the outcome cannot depend on either). r.saReq stays
+	// all-false between ports: only the multi-candidate branch sets
+	// entries, and it clears them after use.
+	for pm := r.saPorts; pm != 0; pm &= pm - 1 {
+		d := topology.Dir(bits.TrailingZeros8(pm))
 		in := r.in[d]
-		r.saOutVC[d] = nil
-		m := in.activeMask & in.occMask
-		if m == 0 {
-			continue
-		}
 		var elig vcMask
 		first, n := 0, 0
-		for ; m != 0; m &= m - 1 {
+		for m := in.saElig; m != 0; m &= m - 1 {
 			i := bits.TrailingZeros64(m)
 			vc := &in.vcs[i]
-			out := r.out[vc.outPort]
-			if out.stValid || (!out.ejection && out.creditMask>>uint(vc.outVC)&1 == 0) {
-				if r.tel != nil && !out.stValid {
-					r.tel.CreditStall()
-				}
+			if r.out[vc.outPort].stValid {
 				if r.attr && vc.headPending {
-					r.chargeSAStall(vc, out)
+					r.chargeSAStall(vc, r.out[vc.outPort])
 				}
 				continue
 			}
@@ -539,10 +786,12 @@ func (r *Router) switchAllocation() {
 		case 1:
 			r.saInArb[d].GrantSingle(first)
 			r.saOutVC[d] = &in.vcs[first]
+			nomMask |= 1 << uint(d)
 			if r.tel != nil {
 				r.tel.SAInGrant(r.regions.Native(r.node, in.vcs[first].owner.App))
 			}
 		default:
+			fastOK = false
 			for c := elig; c != 0; c &= c - 1 {
 				i := bits.TrailingZeros64(c)
 				r.saReq[i] = true
@@ -551,6 +800,7 @@ func (r *Router) switchAllocation() {
 			w := r.saInArb[d].Grant(r.saReq[:v], r.saPrio[:v])
 			if w != arbiter.None {
 				r.saOutVC[d] = &in.vcs[w]
+				nomMask |= 1 << uint(d)
 			}
 			if r.tel != nil {
 				for c := elig; c != 0; c &= c - 1 {
@@ -581,26 +831,18 @@ func (r *Router) switchAllocation() {
 	// that actually received a nomination are visited; an uncontended
 	// nomination (the common case) bypasses the request-row build and the
 	// arbiter scan with the exact same outcome.
-	var nomN int
-	var nom [topology.NumDirs]topology.Dir
-	for id := topology.Dir(0); id < topology.NumDirs; id++ {
-		if r.saOutVC[id] != nil {
-			nom[nomN] = id
-			nomN++
-		}
-	}
-	var done [topology.NumDirs]bool
-	for k := 0; k < nomN; k++ {
-		id := nom[k]
+	var doneMask uint8
+	for nm := nomMask; nm != 0; nm &= nm - 1 {
+		id := topology.Dir(bits.TrailingZeros8(nm))
 		vc := r.saOutVC[id]
 		od := vc.outPort
-		if done[od] {
+		if doneMask>>uint(od)&1 == 1 {
 			continue
 		}
-		done[od] = true
+		doneMask |= 1 << uint(od)
 		contended := false
-		for _, id2 := range nom[k+1 : nomN] {
-			if r.saOutVC[id2].outPort == od {
+		for nm2 := nm & (nm - 1); nm2 != 0; nm2 &= nm2 - 1 {
+			if r.saOutVC[bits.TrailingZeros8(nm2)].outPort == od {
 				contended = true
 				break
 			}
@@ -610,15 +852,20 @@ func (r *Router) switchAllocation() {
 			if r.tel != nil {
 				r.tel.SAOutGrant(r.regions.Native(r.node, vc.owner.App))
 			}
-			r.transfer(id, vc)
+			if r.transfer(id, vc) {
+				fastOK = false
+			} else if fastOK {
+				r.fastPlan[r.fastN] = fastStream{ivc: vc, inp: r.in[id], out: r.out[od], outDir: od}
+				r.fastN++
+			}
 			continue
 		}
+		fastOK = false
 		for id2 := topology.Dir(0); id2 < topology.NumDirs; id2++ {
-			vc2 := r.saOutVC[id2]
-			req := vc2 != nil && vc2.outPort == od
+			req := nomMask>>uint(id2)&1 == 1 && r.saOutVC[id2].outPort == od
 			r.saOutReq[od][id2] = req
 			if req {
-				r.saOutPri[od][id2] = r.saPriority(vc2.owner)
+				r.saOutPri[od][id2] = r.saPriority(r.saOutVC[id2].owner)
 			}
 		}
 		w := r.saOutArb[od].Grant(r.saOutReq[od][:], r.saOutPri[od][:])
@@ -648,11 +895,31 @@ func (r *Router) switchAllocation() {
 		}
 		r.transfer(topology.Dir(w), r.saOutVC[w])
 	}
+	// Arm the fast path when this cycle's outcome was forced end to end:
+	// no ST held over, every port had a single candidate, nothing
+	// contended, no tails — and each granted output port carries exactly
+	// one live stream. The last condition keeps the fast-mode stall scan
+	// exact: a second stream stalled against a planned port would be
+	// classified against a latched ST register that the slow replay
+	// would already have drained. Single-stream ports rule such
+	// co-residents out, and new streams arrive only through allocate,
+	// which disarms unconditionally.
+	if fastOK && r.fastN > 0 {
+		armed := true
+		for k := 0; k < r.fastN; k++ {
+			if bits.OnesCount64(r.fastPlan[k].out.streamMask) != 1 {
+				armed = false
+				break
+			}
+		}
+		r.fastArmed = armed
+	}
 }
 
 // transfer dequeues one flit from vc and latches it into the ST register of
-// its allocated output port.
-func (r *Router) transfer(inDir topology.Dir, vc *inputVC) {
+// its allocated output port. It reports whether the flit was the packet's
+// tail (a tail retires the stream, which forbids fast-path arming).
+func (r *Router) transfer(inDir topology.Dir, vc *inputVC) bool {
 	out := r.out[vc.outPort]
 	ov := &out.vcs[vc.outVC]
 	f, ok := vc.buf.Pop()
@@ -697,7 +964,8 @@ func (r *Router) transfer(inDir topology.Dir, vc *inputVC) {
 		}
 		in.link.SendCredit(vc.idx)
 	}
-	if f.Type.IsTail() {
+	tail := f.Type.IsTail()
+	if tail {
 		if r.app >= 0 && vc.owner.App == r.app {
 			r.soa.NativeOcc[r.li]--
 		} else {
@@ -707,11 +975,26 @@ func (r *Router) transfer(inDir topology.Dir, vc *inputVC) {
 		vc.owner = nil
 		ov.tailSent = true
 		out.drainMask |= 1 << uint(vc.outVC)
+		out.streamMask &^= 1 << uint(vc.outVC)
 		r.freeablePorts |= 1 << uint(vc.outPort)
 		r.activeCount--
 		r.soa.Work[r.li]--
 		in.activeMask &^= 1 << uint(vc.idx)
 	}
+	// The pop can only shrink the candidate set: drop the bit when the
+	// buffer emptied, the last credit drained, or a tail retired the
+	// stream. All three terms are already in registers here, so the
+	// update is branch-plus-mask instead of a re-derivation.
+	if tail || vc.buf.Empty() || (!out.ejection && ov.credits == 0) {
+		if in.saElig>>uint(vc.idx)&1 == 1 {
+			in.saElig &^= 1 << uint(vc.idx)
+			if in.saElig == 0 {
+				r.saPorts &^= 1 << uint(inDir)
+			}
+		}
+		return tail
+	}
+	return false
 }
 
 // vcAllocation performs VA for every input VC in the VA stage: the
@@ -722,7 +1005,7 @@ func (r *Router) vcAllocation() {
 	if r.vaCount == 0 {
 		return
 	}
-	v := r.cfg.VCsPerPort()
+	v := r.nvc
 	r.vaTouched = r.vaTouched[:0]
 	for d := topology.Dir(0); d < topology.NumDirs; d++ {
 		in := r.in[d]
@@ -861,13 +1144,13 @@ func (r *Router) vaInput(vc *inputVC) (int, policy.VCClass) {
 	default:
 		chosen, chosenCls = bits.TrailingZeros64(free), policy.VCEscape
 	}
-	return int(port)*r.cfg.VCsPerPort() + chosen, chosenCls
+	return int(port)*r.nvc + chosen, chosenCls
 }
 
 // allocate commits a VA_out grant: output VC og to the input VC with global
 // index w.
 func (r *Router) allocate(og, w int) {
-	v := r.cfg.VCsPerPort()
+	v := r.nvc
 	port := topology.Dir(og / v)
 	ovIdx := og % v
 	in := r.in[topology.Dir(w/v)]
@@ -888,8 +1171,11 @@ func (r *Router) allocate(og, w int) {
 	}
 	ov.owner = vc.owner
 	ov.tailSent = false
+	ov.inPort = int8(w / v)
+	ov.inVC = int8(w % v)
 	out.allocated++
 	out.freeMask &^= 1 << uint(ovIdx)
+	out.streamMask |= 1 << uint(ovIdx)
 	vc.outPort = port
 	vc.outVC = ovIdx
 	vc.stage = stageActive
@@ -897,6 +1183,13 @@ func (r *Router) allocate(og, w int) {
 	r.activeCount++
 	in.vaMask &^= 1 << uint(vc.idx)
 	in.activeMask |= 1 << uint(vc.idx)
+	// The new stream is always an immediate SA candidate: its head is
+	// still buffered (pops require Active) and the output VC's credit
+	// stock is full (asserted above). The newcomer must re-enter
+	// arbitration, so any armed fast plan is invalidated.
+	in.saElig |= 1 << uint(vc.idx)
+	r.saPorts |= 1 << uint(w/v)
+	r.fastArmed = false
 }
 
 // routeCompute advances heads that arrived last cycle into the VA stage.

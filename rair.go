@@ -496,6 +496,9 @@ type Report struct {
 	P95, P99 float64
 	// AvgHops is the mean router-traversal count.
 	AvgHops float64
+	// Workers is the resolved tick-engine shard count the run actually
+	// used (Config.Workers <= 1 collapses to one serial shard).
+	Workers int
 	// LatencyHistogram is an ASCII histogram of the measured latencies.
 	LatencyHistogram string
 	// Heatmap is an ASCII map of per-router link utilization.
@@ -691,6 +694,7 @@ func (s *Simulation) Run(ph Phases) (*Report, error) {
 		P95:              col.Total().Percentile(95),
 		P99:              col.Total().Percentile(99),
 		AvgHops:          col.Hops().Mean(),
+		Workers:          net.Workers(),
 		LatencyHistogram: col.Total().Histogram(12),
 		Heatmap:          net.UtilizationHeatmap(end),
 		Telemetry:        tel,
