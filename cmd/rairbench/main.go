@@ -66,6 +66,28 @@ type benchEntry struct {
 	// per scheme (the paper's headline result).
 	HeadlineReduction map[string]float64 `json:"fig14_avg_apl_reduction_vs_RO_RR"`
 	Experiments       []experimentTiming `json:"experiments"`
+	// Scaling is the -scaling worker sweep over big meshes (1k/2k/4k
+	// routers): engine speed plus barrier-wait cost per shard count.
+	Scaling []scalingPoint `json:"scaling,omitempty"`
+}
+
+// scalingPoint is one (mesh, workers) cell of the -scaling sweep: sharded
+// engine speed and the coordinator's barrier-wait bill, which is the
+// quantity that decides whether more shards still pay at a given mesh size.
+type scalingPoint struct {
+	MeshW   int `json:"mesh_w"`
+	MeshH   int `json:"mesh_h"`
+	Routers int `json:"routers"`
+	Workers int `json:"workers"`
+	// CyclesPerS is simulated cycles per wall second.
+	CyclesPerS float64 `json:"cycles_per_s"`
+	// BarrierWaitNSPerCycle is the coordinator's total post-phase barrier
+	// wait divided by simulated cycles (0 for the serial engine, which has
+	// no barriers).
+	BarrierWaitNSPerCycle float64 `json:"barrier_wait_ns_per_cycle"`
+	// BarrierHist is the log2-nanosecond barrier-wait histogram summed
+	// across phases: BarrierHist[k] counts waits in [2^(k-1), 2^k) ns.
+	BarrierHist []int64 `json:"barrier_hist,omitempty"`
 }
 
 // legacyBenchResults is the pre-history single-object schema (sharded speed
@@ -163,6 +185,66 @@ func throughputMesh32(cycles int) float64 {
 		panic(err)
 	}
 	return float64(cycles) / time.Since(start).Seconds()
+}
+
+// scalingProbe measures one cell of the scaling sweep: the quadrant
+// scenario on a w×h mesh advanced by `workers` shards (0 = serial engine)
+// with engine self-profiling on, so the point carries both speed and the
+// barrier-wait bill behind it.
+func scalingProbe(w, h, workers, cycles int) scalingPoint {
+	sim, err := rair.New(rair.Config{MeshW: w, MeshH: h, Layout: rair.LayoutQuadrants,
+		Scheme: "RA_RAIR", Seed: 1, Workers: workers, Profile: true})
+	if err != nil {
+		panic(err)
+	}
+	for a := 0; a < 4; a++ {
+		if err := sim.AddApp(rair.AppSpec{App: a, LoadFrac: 0.5, GlobalFrac: 0.2}); err != nil {
+			panic(err)
+		}
+	}
+	start := time.Now()
+	rep, err := sim.Run(rair.Phases{Warmup: 0, Measure: int64(cycles), Drain: 0})
+	if err != nil {
+		panic(err)
+	}
+	pt := scalingPoint{
+		MeshW: w, MeshH: h, Routers: w * h, Workers: workers,
+		CyclesPerS: float64(cycles) / time.Since(start).Seconds(),
+	}
+	if rep.Engine != nil && len(rep.Engine.Barrier) > 0 {
+		var waitNS int64
+		var hist []int64
+		for _, bp := range rep.Engine.Barrier {
+			waitNS += bp.WaitNS
+			if hist == nil {
+				hist = make([]int64, len(bp.Hist))
+			}
+			for k, c := range bp.Hist {
+				hist[k] += c
+			}
+		}
+		pt.BarrierWaitNSPerCycle = float64(waitNS) / float64(cycles)
+		pt.BarrierHist = hist
+	}
+	return pt
+}
+
+// scalingSweep runs the full worker × mesh grid of the -scaling probe:
+// 32×32 (1024 routers), 64×32 (2048) and 64×64 (4096), each at every
+// worker count, printing the curve as it accumulates.
+func scalingSweep(workerList []int, cycles int) []scalingPoint {
+	var pts []scalingPoint
+	fmt.Printf("%-8s %8s %8s %14s %22s\n", "mesh", "routers", "workers", "cycles/s", "barrier ns/cycle")
+	for _, m := range [][2]int{{32, 32}, {64, 32}, {64, 64}} {
+		for _, w := range workerList {
+			pt := scalingProbe(m[0], m[1], w, cycles)
+			pts = append(pts, pt)
+			fmt.Printf("%-8s %8d %8d %14.0f %22.1f\n",
+				fmt.Sprintf("%dx%d", m[0], m[1]), pt.Routers, pt.Workers,
+				pt.CyclesPerS, pt.BarrierWaitNSPerCycle)
+		}
+	}
+	return pts
 }
 
 // throughputBatched measures the lockstep batch runner's aggregate speed on
@@ -424,6 +506,8 @@ func main() {
 	telTrace := flag.Uint64("telemetry-trace", 1000, "trace every N-th packet in the telemetry probe (0 = off)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this path")
+	scaling := flag.Bool("scaling", false, "run only the engine-scaling probe (worker sweep over 1k/2k/4k-router meshes); with -json, append the curve to the history file")
+	scalingWorkers := flag.String("scaling-workers", "1,2,4,8", "comma-separated worker counts for -scaling (0 = serial engine)")
 	faultSpec := flag.String("faults", "", "run only the fault-injection smoke scenario with this spec, e.g. drop=0.001,corrupt=0.001,stall=0.0002 (implies -check-invariants)")
 	checkInv := flag.Bool("check-invariants", false, "run only the invariant-checked probe scenario (no experiments); combine with -faults for the fault smoke")
 	emitManifest := flag.String("emit-manifest", "", "write a rairsweep manifest covering the known experiments (honors -quick, -experiment, -manifest-seeds) to this path and exit")
@@ -488,6 +572,43 @@ func main() {
 	if *list {
 		for _, e := range rair.Experiments() {
 			fmt.Printf("%-13s %s\n", e.Name, e.Paper)
+		}
+		return
+	}
+
+	if *scaling {
+		var workerList []int
+		for _, s := range strings.Split(*scalingWorkers, ",") {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				continue
+			}
+			w, err := strconv.Atoi(s)
+			if err != nil || w < 0 {
+				fmt.Fprintf(os.Stderr, "rairbench: -scaling-workers: bad count %q\n", s)
+				os.Exit(2)
+			}
+			workerList = append(workerList, w)
+		}
+		if len(workerList) == 0 {
+			fmt.Fprintln(os.Stderr, "rairbench: -scaling-workers: no counts given")
+			os.Exit(2)
+		}
+		pts := scalingSweep(workerList, *cycles)
+		if *jsonPath != "" {
+			entry := benchEntry{
+				Date:        time.Now().UTC().Format(time.RFC3339),
+				Quick:       *quick,
+				Seed:        *seed,
+				GOMAXPROCS:  runtime.GOMAXPROCS(0),
+				ProbeCycles: *cycles,
+				Scaling:     pts,
+			}
+			if err := appendBenchEntry(*jsonPath, entry); err != nil {
+				fmt.Fprintln(os.Stderr, "rairbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d scaling points)\n", *jsonPath, len(pts))
 		}
 		return
 	}

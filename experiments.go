@@ -187,6 +187,22 @@ var experiments = map[string]struct {
 			return tabled(harness.CollectivePARSEC(collective.AllToAll, durations(quick), seed).Table())
 		},
 	},
+	"chiplet-synth": {
+		paper: "Extension: chiplet boundary co-run — one RAIR region per chiplet, aggressors flooding the victim tile through the package crossbar (victim APL slowdown per scheme)",
+		run: func(quick bool, seed uint64) (string, string, error) {
+			return tabled(harness.ChipletSynth(durations(quick), seed).Table())
+		},
+	},
+	"mesh64-scale": {
+		paper: "Extension: Section VI scalability pushed to big meshes (up to 64x64, 16-region grid, sharded engine)",
+		run: func(quick bool, seed uint64) (string, string, error) {
+			ks := []int{32, 64}
+			if quick {
+				ks = []int{16, 32}
+			}
+			return tabled(harness.ScaleBigMesh(ks, durations(quick), seed).Table())
+		},
+	},
 	"curve": {
 		paper: "Supporting: latency-load curve for chip-wide uniform random traffic (saturation calibration)",
 		run: func(quick bool, seed uint64) (string, string, error) {

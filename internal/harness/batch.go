@@ -48,11 +48,12 @@ func startBatchSim(idx int, rc RunConfig) *batchSim {
 			col.OnEject(p, now)
 		}
 	}
+	rcfg := rc.routerConfig()
 	net := network.New(network.Params{
-		Router:    rc.Router,
+		Router:    rcfg,
 		Regions:   rc.Regions,
 		Alg:       rc.Scheme.Alg(mesh),
-		Sel:       rc.Scheme.Sel(rc.Regions, rc.Router),
+		Sel:       rc.Scheme.Sel(rc.Regions, rcfg),
 		Policy:    rc.Scheme.Policy,
 		OnEject:   onEject,
 		Recycle:   pool.Put,
@@ -60,9 +61,11 @@ func startBatchSim(idx int, rc RunConfig) *batchSim {
 		Telemetry: rc.Telemetry,
 		Faults:    rc.Faults,
 		Check:     rc.Check,
+		Chiplets:  rc.Chiplets,
+		XBar:      rc.XBar,
 	})
 	inject := func(node int, p *msg.Packet, now int64) {
-		net.NI(node).Inject(p, now)
+		net.Inject(p, now)
 	}
 	gen := traffic.NewGenerator(rc.Apps, rc.Seed, inject)
 	gen.Pool = pool

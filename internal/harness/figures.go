@@ -153,7 +153,15 @@ func runFig(title string, regs *region.Map, apps []traffic.AppTraffic, cfg route
 		rcs[i] = RunConfig{Regions: regs, Router: cfg, Apps: apps, Scheme: s, Dur: dur, Seed: seed}
 	}
 	cols := RunParallel(rcs)
-	res := &FigResult{Title: title}
+	res := figFromCols(regs, apps, schemes, cols)
+	res.Title = title
+	return res
+}
+
+// figFromCols assembles a FigResult from already-run collectors (one per
+// scheme, in scheme order).
+func figFromCols(regs *region.Map, apps []traffic.AppTraffic, schemes []Scheme, cols []*stats.Collector) *FigResult {
+	res := &FigResult{}
 	for a := range apps {
 		res.Apps = append(res.Apps, apps[a].App)
 	}

@@ -18,6 +18,7 @@ import (
 	"rair/internal/sim"
 	"rair/internal/stats"
 	"rair/internal/telemetry"
+	"rair/internal/topology"
 	"rair/internal/traffic"
 )
 
@@ -68,6 +69,28 @@ type RunConfig struct {
 	// CollectiveDone, if set, receives the collective's final progress
 	// snapshot when the run (including drain) finishes.
 	CollectiveDone func(collective.Progress)
+	// Chiplets, if non-nil, builds the mesh as a two-level chiplet system
+	// joined by the XBar crossbar; see network.Params.Chiplets. The grid
+	// must span the Regions mesh.
+	Chiplets *topology.Chiplets
+	// XBar configures the inter-chiplet crossbar (zero value = defaults).
+	XBar network.XBarConfig
+	// Concentration puts that many cores behind every router (a
+	// concentrated mesh): the router config gets that many NI injector
+	// slots and injections rotate across them. Values <= 1 mean one core
+	// per router. Scenario builders model the extra cores by duplicating
+	// app Nodes entries, so per-router load scales with the factor.
+	Concentration int
+}
+
+// routerConfig is rc.Router with the concentration factor applied to the
+// NI's injector-slot count.
+func (rc RunConfig) routerConfig() router.Config {
+	cfg := rc.Router
+	if rc.Concentration > 1 {
+		cfg.Injectors = rc.Concentration
+	}
+	return cfg
 }
 
 // Run executes one simulation point and returns its statistics collector.
@@ -93,11 +116,12 @@ func Run(rc RunConfig) *stats.Collector {
 			col.OnEject(p, now)
 		}
 	}
+	rcfg := rc.routerConfig()
 	net := network.New(network.Params{
-		Router:    rc.Router,
+		Router:    rcfg,
 		Regions:   rc.Regions,
 		Alg:       rc.Scheme.Alg(mesh),
-		Sel:       rc.Scheme.Sel(rc.Regions, rc.Router),
+		Sel:       rc.Scheme.Sel(rc.Regions, rcfg),
 		Policy:    rc.Scheme.Policy,
 		OnEject:   onEject,
 		Recycle:   pool.Put,
@@ -105,10 +129,12 @@ func Run(rc RunConfig) *stats.Collector {
 		Telemetry: rc.Telemetry,
 		Faults:    rc.Faults,
 		Check:     rc.Check,
+		Chiplets:  rc.Chiplets,
+		XBar:      rc.XBar,
 	})
 	defer net.Close()
 	inject := func(node int, p *msg.Packet, now int64) {
-		net.NI(node).Inject(p, now)
+		net.Inject(p, now)
 	}
 	gen := traffic.NewGenerator(rc.Apps, rc.Seed, inject)
 	gen.Pool = pool

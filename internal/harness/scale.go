@@ -108,7 +108,21 @@ func ScaleRegions(dur Durations, seed uint64) *ScaleResult {
 }
 
 func scalePoint(label string, regs *region.Map, apps []traffic.AppTraffic, dur Durations, seed uint64) ScalePoint {
-	fig := runFig("", regs, apps, synthCfg(), []Scheme{RORR(), RAIR("RA_RAIR")}, dur, seed)
+	return scalePointW(label, regs, apps, dur, seed, 0)
+}
+
+// scalePointW is scalePoint with an explicit tick-engine worker count per
+// run (0 = serial); big-mesh points shard the engine instead of relying on
+// cross-run parallelism.
+func scalePointW(label string, regs *region.Map, apps []traffic.AppTraffic, dur Durations, seed uint64, workers int) ScalePoint {
+	schemes := []Scheme{RORR(), RAIR("RA_RAIR")}
+	rcs := make([]RunConfig, len(schemes))
+	for i, s := range schemes {
+		rcs[i] = RunConfig{Regions: regs, Router: synthCfg(), Apps: apps,
+			Scheme: s, Dur: dur, Seed: seed, Workers: workers}
+	}
+	cols := RunParallel(rcs)
+	fig := figFromCols(regs, apps, schemes, cols)
 	p := ScalePoint{
 		Label:        label,
 		Nodes:        regs.Mesh().N(),

@@ -81,6 +81,12 @@ type Packet struct {
 	Src int // source node id
 	Dst int // destination node id
 
+	// FinalDst is the packet's ultimate destination in a chiplet system,
+	// where Dst holds only the current leg's target (the tile gateway on
+	// the first leg). Plain meshes leave it equal to Dst. Maintained by the
+	// network's chiplet bridge; routers never read it.
+	FinalDst int
+
 	Class Class
 	Size  int // flits, including head
 

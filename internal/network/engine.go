@@ -119,6 +119,11 @@ type engine struct {
 	shards  []*shard
 	now     int64
 
+	// neigh answers adjacency for the congestion relay. Defaults to the
+	// mesh's Neighbor; chiplet systems override it to clip tile edges so
+	// DBAR congestion never propagates across links that were never wired.
+	neigh func(id int, d topology.Dir) int
+
 	// faults, when non-nil, stalls routers in the compute phase. Stall
 	// decisions are pure hashes of (node, cycle), and the per-node stall
 	// state is only touched by the node's owning shard, so fault injection
@@ -141,7 +146,7 @@ type engine struct {
 func newEngine(mesh *topology.Mesh, routers []*router.Router, nis []*router.NI, workers int, soas []*router.SoA) *engine {
 	n := mesh.N()
 	s := shardCount(n, workers)
-	e := &engine{mesh: mesh, routers: routers, shards: make([]*shard, s)}
+	e := &engine{mesh: mesh, routers: routers, shards: make([]*shard, s), neigh: mesh.Neighbor}
 	for i := range e.shards {
 		lo, hi := i*n/s, (i+1)*n/s
 		e.shards[i] = &shard{idx: i, routers: routers[lo:hi], nis: nis[lo:hi], soa: soas[i], lo: lo}
@@ -429,7 +434,7 @@ func (e *engine) execPhase(sh *shard, ph enginePhase) {
 			id := r.Node()
 			for d := topology.North; d < topology.NumDirs; d++ {
 				next := r.CongNextRow(d)
-				nb := e.mesh.Neighbor(id, d)
+				nb := e.neigh(id, d)
 				if nb == -1 {
 					for k := range next {
 						next[k] = 0

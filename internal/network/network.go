@@ -95,6 +95,16 @@ type Params struct {
 	// simulation state), so results are bit-identical with it on or off.
 	// Read the result with EngineProfile. See profile.go.
 	Profile bool
+	// Chiplets, if non-nil, builds the mesh as a two-level chiplet system:
+	// its tile edges are left unwired and inter-chiplet packets cross the
+	// bandwidth-partitioned crossbar between tile gateways. The chiplet
+	// grid must span exactly the Regions mesh. Injection must then go
+	// through Network.Inject (which plans the gateway legs); direct NI
+	// injection would strand inter-chiplet packets at an unwired edge.
+	Chiplets *topology.Chiplets
+	// XBar configures the inter-chiplet crossbar (zero value = defaults).
+	// Ignored unless Chiplets is set.
+	XBar XBarConfig
 }
 
 // Network is a fully wired mesh NoC.
@@ -112,6 +122,12 @@ type Network struct {
 	check   *invariant.Checker // nil when unchecked
 	refs    []invariant.LinkRef
 	now     int64
+
+	chiplets   *topology.Chiplets // nil for plain meshes
+	xbar       *Crossbar          // nil for plain meshes
+	injSlot    []int              // per-node injector-slot rotation (concentrated meshes)
+	bridgeSlot int                // NI slot reserved for crossbar re-injection (-1 without chiplets)
+	appSlots   int                // injector slots available to applications
 }
 
 // New builds and wires the network.
@@ -123,11 +139,34 @@ func New(p Params) *Network {
 		panic("network: incomplete params")
 	}
 	mesh := p.Regions.Mesh()
+	bridgeSlot := -1
+	if p.Chiplets != nil {
+		cm := p.Chiplets.Mesh()
+		if cm.W != mesh.W || cm.H != mesh.H {
+			panic(fmt.Sprintf("network: chiplet grid spans %dx%d but regions mesh is %dx%d",
+				cm.W, cm.H, mesh.W, mesh.H))
+		}
+		// The chip-to-chip PHY has its own NI ingress queue: crossbar
+		// re-injections use a dedicated injector slot, so a gateway node's
+		// own traffic never queues behind the foreign backlog (the NI's
+		// claim scan interleaves the slots round-robin).
+		bridgeSlot = p.Router.InjectorCount()
+		p.Router.Injectors = bridgeSlot + 1
+	}
 	n := &Network{
-		params:  p,
-		mesh:    mesh,
-		routers: make([]*router.Router, mesh.N()),
-		nis:     make([]*router.NI, mesh.N()),
+		params:     p,
+		mesh:       mesh,
+		routers:    make([]*router.Router, mesh.N()),
+		nis:        make([]*router.NI, mesh.N()),
+		chiplets:   p.Chiplets,
+		bridgeSlot: bridgeSlot,
+		appSlots:   p.Router.InjectorCount(),
+	}
+	if bridgeSlot >= 0 {
+		n.appSlots = bridgeSlot
+	}
+	if n.appSlots > 1 {
+		n.injSlot = make([]int, mesh.N())
 	}
 	switch p.Congestion {
 	case CongestionAuto:
@@ -181,14 +220,29 @@ func New(p Params) *Network {
 	}
 	n.eng = newEngine(mesh, n.routers, n.nis, p.Workers, soas)
 	n.eng.faults = n.faults
+	if cs := p.Chiplets; cs != nil {
+		// Clip the congestion relay at tile edges: those links don't exist.
+		n.eng.neigh = func(id int, d topology.Dir) int {
+			nb := mesh.Neighbor(id, d)
+			if nb != -1 && !cs.SameChip(id, nb) {
+				return -1
+			}
+			return nb
+		}
+	}
 	if p.Profile {
 		n.eng.prof = newEngineProf(len(n.eng.shards))
 	}
-	// Inter-router links (one per direction per adjacent pair).
+	// Inter-router links (one per direction per adjacent pair). In a
+	// chiplet system, pairs straddling a tile edge are never wired — the
+	// crossbar is the only path between tiles.
 	for id := 0; id < mesh.N(); id++ {
 		for _, d := range []topology.Dir{topology.East, topology.South} {
 			nb := mesh.Neighbor(id, d)
 			if nb == -1 {
+				continue
+			}
+			if p.Chiplets != nil && !p.Chiplets.SameChip(id, nb) {
 				continue
 			}
 			n.wire(id, d, nb)
@@ -203,7 +257,7 @@ func New(p Params) *Network {
 		ej := router.NewLink(p.Router.LinkLatency)
 		n.links = append(n.links, inj, ej)
 		var onEject func(*msg.Packet, int64)
-		if p.OnEject != nil || p.Recycle != nil {
+		if p.OnEject != nil || p.Recycle != nil || p.Chiplets != nil {
 			sh := n.eng.shardOf(id)
 			onEject = func(pkt *msg.Packet, now int64) {
 				sh.ejections = append(sh.ejections, ejection{pkt, now})
@@ -245,6 +299,13 @@ func New(p Params) *Network {
 		sh.rCred = append(sh.rCred, routerCreditBinding{link: ej, r: r, dir: topology.Local})
 	}
 	n.eng.finalize()
+	if p.Chiplets != nil {
+		x, err := NewCrossbar(p.XBar, p.Chiplets, n.xbarDeliver)
+		if err != nil {
+			panic(err)
+		}
+		n.xbar = x
+	}
 	if p.Check != nil {
 		n.check = invariant.NewChecker(*p.Check, invariant.Target{
 			Depth: p.Router.Depth, VCs: p.Router.VCsPerPort(), Mesh: mesh,
@@ -316,6 +377,12 @@ func (n *Network) Router(node int) *router.Router { return n.routers[node] }
 // Faults returns the run's fault injector (nil when fault-free).
 func (n *Network) Faults() *faults.Injector { return n.faults }
 
+// Chiplets returns the chiplet system (nil for plain meshes).
+func (n *Network) Chiplets() *topology.Chiplets { return n.chiplets }
+
+// Crossbar returns the inter-chiplet switch (nil for plain meshes).
+func (n *Network) Crossbar() *Crossbar { return n.xbar }
+
 // Checker returns the run's invariant checker (nil when unchecked).
 func (n *Network) Checker() *invariant.Checker { return n.check }
 
@@ -362,10 +429,16 @@ func (n *Network) Tick(now int64) {
 		n.check.Check(now)
 	}
 	// Replay buffered ejections in node order on this goroutine: observers
-	// first, then the recycler reclaims the packet.
-	if n.params.OnEject != nil || n.params.Recycle != nil {
+	// first, then the recycler reclaims the packet. In a chiplet system a
+	// packet ejecting at a gateway short of its final destination is not
+	// delivered — it enters the crossbar for its second leg.
+	if n.params.OnEject != nil || n.params.Recycle != nil || n.chiplets != nil {
 		for _, sh := range n.eng.shards {
 			for _, e := range sh.ejections {
+				if n.chiplets != nil && e.pkt.FinalDst != e.pkt.Dst {
+					n.xbar.Submit(e.pkt, e.pkt.CreatedAt, e.now)
+					continue
+				}
 				if n.params.OnEject != nil {
 					n.params.OnEject(e.pkt, e.now)
 				}
@@ -376,6 +449,85 @@ func (n *Network) Tick(now int64) {
 			sh.ejections = sh.ejections[:0]
 		}
 	}
+	// The crossbar ticks after replay so same-cycle submissions are
+	// visible; it runs on this goroutine, keeping chiplet systems
+	// bit-exact across worker counts.
+	if n.xbar != nil {
+		n.xbar.Tick(now)
+	}
+}
+
+// Inject introduces a packet into the network at cycle now. It is the
+// canonical injection entry: plain meshes forward to the source NI; chiplet
+// systems plan the gateway legs (Dst becomes the source tile's gateway and
+// FinalDst the true target) and classify inter-chiplet packets as global
+// traffic so RAIR's boundary discipline gates them; concentrated meshes
+// rotate injections across the NI's injector slots deterministically.
+func (n *Network) Inject(p *msg.Packet, now int64) {
+	if n.chiplets == nil || n.chiplets.SameChip(p.Src, p.Dst) {
+		p.FinalDst = p.Dst
+		n.injectLocal(p.Src, p, now)
+		return
+	}
+	p.FinalDst = p.Dst
+	gw := n.chiplets.Gateway(n.chiplets.ChipOf(p.Src))
+	p.Dst = gw
+	if p.Src == gw {
+		// Source sits on the gateway: the first mesh leg is empty, so the
+		// packet enters the crossbar directly, stamped as the NI would.
+		p.CreatedAt = now
+		p.InjectedAt = now
+		p.EjectedAt = -1
+		p.BatchID = policy.BatchFor(now)
+		p.Global = true
+		p.Blame = [msg.NumBlame]int32{}
+		n.xbar.Submit(p, now, now)
+		return
+	}
+	n.injectLocal(p.Src, p, now)
+	// The NI classified the gateway leg from (Src, Dst), which share a
+	// region; the packet's journey crosses one, so it is global traffic.
+	p.Global = true
+}
+
+// injectLocal queues p at its source NI, rotating over the application
+// injector slots when the mesh is concentrated (the bridge slot, if any, is
+// reserved for crossbar re-injection). The rotation runs on the
+// coordinator, so slot assignment is deterministic at any worker count.
+func (n *Network) injectLocal(node int, p *msg.Packet, now int64) {
+	if n.appSlots == 1 {
+		n.nis[node].Inject(p, now)
+		return
+	}
+	slot := n.injSlot[node]
+	n.injSlot[node] = (slot + 1) % n.appSlots
+	n.nis[node].InjectAt(slot, p, now)
+}
+
+// xbarDeliver re-introduces a packet that finished crossing the switch:
+// it is re-injected at the destination tile's gateway for its second mesh
+// leg (or delivered outright when the gateway is the final destination),
+// with the first leg's creation stamp restored so end-to-end latency spans
+// queueing, both mesh legs and the crossing.
+func (n *Network) xbarDeliver(f xbarFlight, now int64) {
+	p := f.pkt
+	gw := n.chiplets.Gateway(n.chiplets.ChipOf(p.FinalDst))
+	p.Src, p.Dst = gw, p.FinalDst
+	if gw == p.FinalDst {
+		p.EjectedAt = now
+		p.CreatedAt = f.created
+		if n.params.OnEject != nil {
+			n.params.OnEject(p, now)
+		}
+		if n.params.Recycle != nil {
+			n.params.Recycle(p)
+		}
+		return
+	}
+	n.nis[gw].InjectAt(n.bridgeSlot, p, now)
+	p.CreatedAt = f.created
+	// Foreign traffic inside the destination tile stays on the global VCs.
+	p.Global = true
 }
 
 // InFlight reports packets created but not yet ejected, network-wide.
@@ -405,6 +557,11 @@ func (n *Network) BufferedFlits() int {
 // wires), making the check a few word compares per shard.
 func (n *Network) Drained() bool {
 	if n.InFlight() != 0 {
+		return false
+	}
+	// Packets crossing the chiplet switch are between legs: their first
+	// leg's ejection balanced its creation, so InFlight misses them.
+	if n.xbar != nil && !n.xbar.Idle() {
 		return false
 	}
 	for _, sh := range n.eng.shards {

@@ -43,6 +43,11 @@ type Config struct {
 	// of 2 models ST→LT pipelining so that the zero-load per-hop latency
 	// is the canonical 5 cycles (RC, VA, SA, ST, LT).
 	LinkLatency int
+	// Injectors is the number of injection slots the NI multiplexes onto
+	// the local port — the concentration factor of a concentrated mesh,
+	// where each of the c cores behind a router owns its own per-class
+	// source queues. Zero means 1 (plain mesh, one core per router).
+	Injectors int
 }
 
 // DefaultConfig returns the Table 1 configuration for the given number of
@@ -74,11 +79,22 @@ func (c Config) Validate() error {
 		return fmt.Errorf("router: VC depth must be >= 1")
 	case c.LinkLatency < 1:
 		return fmt.Errorf("router: link latency must be >= 1")
+	case c.Injectors < 0:
+		return fmt.Errorf("router: Injectors must be >= 0 (0 means 1)")
 	case c.VCsPerPort() > 64:
 		// The datapath tracks per-port VC occupancy in single-word bitmasks.
 		return fmt.Errorf("router: %d VCs per port exceeds the bitmask limit of 64", c.VCsPerPort())
 	}
 	return nil
+}
+
+// InjectorCount reports the effective number of NI injection slots,
+// treating the zero value as one.
+func (c Config) InjectorCount() int {
+	if c.Injectors < 1 {
+		return 1
+	}
+	return c.Injectors
 }
 
 // VCsPerClass reports the total VCs per message class.

@@ -40,7 +40,11 @@ type NI struct {
 	inj *Link // NI -> router local input port
 	ej  *Link // router local output port -> NI
 
-	queues []*sim.Queue[*msg.Packet] // per message class
+	// queues holds one source queue per (injector slot, message class)
+	// pair, indexed slot*Classes+class. Plain meshes have one slot;
+	// concentrated meshes give each of the c cores behind the router its
+	// own slot so cores queue independently (cfg.Injectors).
+	queues []*sim.Queue[*msg.Packet]
 
 	streams []stream // per local-input VC; pkt nil when not streaming
 	credits []int
@@ -50,8 +54,8 @@ type NI struct {
 	creditMask vcMask // VCs with at least one credit
 	fullMask   vcMask // VCs with the full credit stock
 
-	rrVC    int
-	rrClass int
+	rrVC int
+	rrQ  int // rotating start of the claim() scan over source queues
 
 	// Activity counters: queued packets, live streams and draining VCs.
 	// When all three are zero the NI's Tick is a no-op and the tick engine
@@ -97,7 +101,7 @@ func NewNIInStore(cfg Config, node int, regions *region.Map, inj, ej *Link,
 	v := cfg.VCsPerPort()
 	ni := &NI{
 		cfg: cfg, node: node, regions: regions, inj: inj, ej: ej, soa: soa, li: li,
-		queues:     make([]*sim.Queue[*msg.Packet], cfg.Classes),
+		queues:     make([]*sim.Queue[*msg.Packet], cfg.Classes*cfg.InjectorCount()),
 		streams:    make([]stream, v),
 		credits:    make([]int, v),
 		creditMask: allVCs(v),
@@ -141,13 +145,21 @@ func (ni *NI) SetTelemetry(p *telemetry.Probe) {
 }
 
 // Inject queues a packet for injection at cycle now, stamping its creation
-// time, batch and regional/global classification.
-func (ni *NI) Inject(p *msg.Packet, now int64) {
+// time, batch and regional/global classification. It is InjectAt on slot 0.
+func (ni *NI) Inject(p *msg.Packet, now int64) { ni.InjectAt(0, p, now) }
+
+// InjectAt queues a packet on injector slot's source queue for its class.
+// Slots model the cores of a concentrated mesh: each owns independent
+// queues, and claim() arbitrates across all of them round-robin.
+func (ni *NI) InjectAt(slot int, p *msg.Packet, now int64) {
 	if p.Src != ni.node {
 		panic(fmt.Sprintf("router: packet %v injected at node %d", p, ni.node))
 	}
 	if int(p.Class) >= ni.cfg.Classes {
 		panic(fmt.Sprintf("router: packet class %v exceeds configured classes", p.Class))
+	}
+	if slot < 0 || slot >= ni.cfg.InjectorCount() {
+		panic(fmt.Sprintf("router: injector slot %d out of range [0,%d)", slot, ni.cfg.InjectorCount()))
 	}
 	p.CreatedAt = now
 	p.BatchID = policy.BatchFor(now)
@@ -157,7 +169,7 @@ func (ni *NI) Inject(p *msg.Packet, now int64) {
 	// Unconditional (branchless) so pool-recycled and protocol-reused
 	// packets always start with a clean blame vector.
 	p.Blame = [msg.NumBlame]int32{}
-	ni.queues[p.Class].Push(p)
+	ni.queues[slot*ni.cfg.Classes+int(p.Class)].Push(p)
 	ni.queued++
 	ni.soa.NIWork[ni.li]++
 	ni.soa.armN(ni.li)
@@ -265,14 +277,19 @@ func (ni *NI) Tick(now int64) {
 }
 
 // claim assigns one queued packet to a free local-input VC of its class per
-// cycle (one VC allocation per cycle, like a router's VA).
+// cycle (one VC allocation per cycle, like a router's VA), rotating over the
+// (slot, class) source queues so concentrated-mesh cores share the local
+// port fairly. With one injector slot the scan degenerates to the per-class
+// rotation a plain mesh always had.
 func (ni *NI) claim() {
-	for c := 0; c < ni.cfg.Classes; c++ {
-		cls := (ni.rrClass + c) % ni.cfg.Classes
-		q := ni.queues[cls]
+	nq := len(ni.queues)
+	for i := 0; i < nq; i++ {
+		qi := (ni.rrQ + i) % nq
+		q := ni.queues[qi]
 		if q.Empty() {
 			continue
 		}
+		cls := qi % ni.cfg.Classes
 		vc := ni.freeVC(msg.Class(cls))
 		if vc < 0 {
 			if ni.tel != nil {
@@ -285,7 +302,7 @@ func (ni *NI) claim() {
 		ni.streamMask |= 1 << uint(vc)
 		ni.queued--
 		ni.streaming++
-		ni.rrClass = (cls + 1) % ni.cfg.Classes
+		ni.rrQ = (qi + 1) % nq
 		return
 	}
 }

@@ -522,6 +522,97 @@ func Guards() []Guard {
 			},
 		},
 		{
+			Experiment: "chiplet-synth",
+			Name:       "boundary gating works: RA_RAIR victim slowdown below RO_RR, interference present",
+			Check: func(t *CSVTable) error {
+				// Calibrated against seeds 1-3 at quick (RO_RR 1.025-1.046,
+				// RA_RAIR 1.017-1.038, margin >= 0.006) and paper durations
+				// (RO_RR 1.037, RA_RAIR 1.031): the foreign flood through
+				// the victim gateway must measurably slow the victim under
+				// round-robin, and RAIR's boundary routers — flipped
+				// native-high by the DPA at the gateway — must contain it.
+				rr, err := t.Value("RO_RR", "slowdown")
+				if err != nil {
+					return err
+				}
+				rair, err := t.Value("RA_RAIR", "slowdown")
+				if err != nil {
+					return err
+				}
+				if rr < 1.015 {
+					return fmt.Errorf("no boundary interference to gate: RO_RR victim slowdown %.3f < 1.015", rr)
+				}
+				if rair > rr-0.003 {
+					return fmt.Errorf("RA_RAIR (%.3f) does not reduce victim slowdown vs RO_RR (%.3f) by >= 0.003", rair, rr)
+				}
+				if rair < 0.95 {
+					return fmt.Errorf("RA_RAIR victim slowdown %.3f implausibly below 0.95", rair)
+				}
+				return nil
+			},
+		},
+		{
+			Experiment: "chiplet-synth",
+			Name:       "chiplet co-run sane: every scheme's victim slowdown bounded, bases agree",
+			Check: func(t *CSVTable) error {
+				// The base column is the victim running alone: the crossbar
+				// never carries a flit, so scheme choice must barely move it
+				// (arbitration differences only reshuffle the victim's own
+				// packets). A base spread beyond 2% means the co-run column
+				// is comparing different baselines.
+				var lo, hi float64
+				for i, scheme := range []string{"RO_RR", "RA_DBAR", "RO_Rank", "RA_RAIR"} {
+					sd, err := t.Value(scheme, "slowdown")
+					if err != nil {
+						return err
+					}
+					if sd < 0.95 || sd > 1.5 {
+						return fmt.Errorf("%s victim slowdown %.3f outside [0.95, 1.5]", scheme, sd)
+					}
+					base, err := t.Value(scheme, "base apl")
+					if err != nil {
+						return err
+					}
+					if base <= 0 {
+						return fmt.Errorf("%s nonpositive base APL %.2f", scheme, base)
+					}
+					if i == 0 {
+						lo, hi = base, base
+					} else {
+						if base < lo {
+							lo = base
+						}
+						if base > hi {
+							hi = base
+						}
+					}
+				}
+				if hi > lo*1.02 {
+					return fmt.Errorf("victim-alone baselines diverge across schemes: %.2f vs %.2f", lo, hi)
+				}
+				return nil
+			},
+		},
+		{
+			Experiment: "mesh64-scale",
+			Name:       "RAIR's benefit survives big meshes: positive reduction at every size",
+			Check: func(t *CSVTable) error {
+				if len(t.Rows) < 2 {
+					return fmt.Errorf("fewer than 2 mesh sizes")
+				}
+				for _, row := range t.Rows {
+					red, err := parseCell(row[len(row)-1])
+					if err != nil {
+						return err
+					}
+					if red <= 0 {
+						return fmt.Errorf("%s: RAIR does not reduce APL (avg reduction %.1f%%)", row[0], red)
+					}
+				}
+				return nil
+			},
+		},
+		{
 			Experiment: "batch",
 			Name:       "STC slowdown grows with batching interval (Section III.A weakness)",
 			Check: func(t *CSVTable) error {

@@ -72,6 +72,18 @@ RO_Rank,1.03,1.05,1.04,1.04,1475.6,8
 RA_RAIR,1.02,1.02,1.02,1.02,1484.0,8
 `
 
+const chipletSynthCSV = `scheme,base apl,co apl,slowdown,co p99
+RO_RR,22.62,23.66,1.046,43.00
+RA_DBAR,22.63,23.67,1.046,43.00
+RO_Rank,22.62,24.55,1.085,51.00
+RA_RAIR,22.62,23.47,1.038,43.00
+`
+
+const mesh64ScaleCSV = `config,nodes,regions,RO_RR APL,RA_RAIR APL,avg reduction
+16x16,256,16,42.14,39.32,+6.7%
+32x32,1024,16,68.90,66.73,+3.1%
+`
+
 const collAllreduceCSV = `scheme,blackscholes,swaptions,fluidanimate,avg slowdown,cct,rounds
 RO_RR,1.04,1.00,1.01,1.02,1863.0,6
 RA_DBAR,1.03,1.03,1.02,1.03,1910.7,6
@@ -90,6 +102,8 @@ func goodRecords() []Record {
 		{Experiment: "batch", CSV: batchCSV},
 		{Experiment: "coll-synth", CSV: collSynthCSV},
 		{Experiment: "coll-allreduce", CSV: collAllreduceCSV},
+		{Experiment: "chiplet-synth", CSV: chipletSynthCSV},
+		{Experiment: "mesh64-scale", CSV: mesh64ScaleCSV},
 	}
 	for i := range recs {
 		recs[i].Seed = 1
@@ -162,6 +176,16 @@ func TestGuardsCatchBrokenShapes(t *testing.T) {
 		{"coll-synth no rounds", "coll-synth", "RO_Rank,1.03,1.05,1.04,1.04,1475.6,8", "RO_Rank,1.03,1.05,1.04,1.04,0.0,0"},
 		// coll-allreduce: victim slowdown outside the sanity band.
 		{"coll-allreduce runaway slowdown", "coll-allreduce", "RA_DBAR,1.03,1.03,1.02,1.03", "RA_DBAR,1.03,1.03,1.02,1.93"},
+		// chiplet-synth: RAIR's boundary gating stops beating the baseline.
+		{"chiplet no gating edge", "chiplet-synth", "RA_RAIR,22.62,23.47,1.038", "RA_RAIR,22.62,23.71,1.048"},
+		// chiplet-synth: the baseline stops showing boundary interference at all.
+		{"chiplet no interference", "chiplet-synth", "RO_RR,22.62,23.66,1.046", "RO_RR,22.62,22.71,1.004"},
+		// chiplet-synth: a scheme's slowdown leaves the sanity band.
+		{"chiplet runaway slowdown", "chiplet-synth", "RO_Rank,22.62,24.55,1.085", "RO_Rank,22.62,38.00,1.680"},
+		// chiplet-synth: the base (victim-alone) points stop agreeing across schemes.
+		{"chiplet base drift", "chiplet-synth", "RA_DBAR,22.63", "RA_DBAR,25.80"},
+		// mesh64-scale: RAIR turns harmful at a big mesh size.
+		{"mesh64 harmful", "mesh64-scale", "32x32,1024,16,68.90,66.73,+3.1%", "32x32,1024,16,68.90,71.30,-3.5%"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

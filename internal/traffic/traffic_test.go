@@ -406,3 +406,89 @@ func TestShortFracClamp(t *testing.T) {
 		t.Fatalf("all-long rate %v must be positive and below all-short %v", rl, rs)
 	}
 }
+
+// TestPatternsAtScale locks the pattern generators at the big-mesh sizes
+// the scale-out experiments run: quarter-point hotspots stay distinct and
+// interior, transpose is exact on 32x32 and wrapped on 64x32, and every
+// draw lands in range.
+func TestPatternsAtScale(t *testing.T) {
+	rng := sim.NewRNG(9)
+	for _, dims := range [][2]int{{32, 32}, {64, 32}, {64, 64}} {
+		m := topology.NewMesh(dims[0], dims[1])
+		for _, name := range []string{"UR", "TP", "BC", "HS"} {
+			p := PatternByName(name, m)
+			for _, src := range []int{0, 1, m.W - 1, m.N() / 2, m.N() - m.W, m.N() - 1} {
+				for i := 0; i < 50; i++ {
+					if d := p.Dest(src, rng); d < 0 || d >= m.N() {
+						t.Fatalf("%dx%d %s: dest(%d) = %d out of range", m.W, m.H, name, src, d)
+					}
+				}
+			}
+		}
+		hs := PatternByName("HS", m).(Hotspot)
+		if len(hs.Hotspots) != 4 {
+			t.Fatalf("%dx%d: %d hotspots, want 4", m.W, m.H, len(hs.Hotspots))
+		}
+		for _, h := range hs.Hotspots {
+			c := m.Coord(h)
+			if c.X == 0 || c.Y == 0 || c.X == m.W-1 || c.Y == m.H-1 {
+				t.Fatalf("%dx%d: hotspot %v on the mesh edge, want interior", m.W, m.H, c)
+			}
+		}
+		bc := BitComplement{Mesh: m}
+		for _, src := range []int{0, 1, m.N() - 1} {
+			if d := bc.Dest(src, nil); d != m.N()-1-src {
+				t.Fatalf("%dx%d BC: dest(%d) = %d, want %d", m.W, m.H, src, d, m.N()-1-src)
+			}
+		}
+	}
+	// 32x32 is square: transpose must be the classic exact swap.
+	m := topology.NewMesh(32, 32)
+	tp := Transpose{Mesh: m}
+	for src := 0; src < m.N(); src++ {
+		c, dc := m.Coord(src), m.Coord(tp.Dest(src, nil))
+		if dc.X != c.Y || dc.Y != c.X {
+			t.Fatalf("32x32: dest(%v) = %v, want exact transpose", c, dc)
+		}
+	}
+}
+
+// TestUniformWithConcentratedNodes: concentrated-mesh scenarios model c
+// cores per router by repeating router ids in the node list. Uniform must
+// keep every draw a member of the list; with src duplicated, self-draws
+// are allowed (only one occurrence is excluded) and callers skip them —
+// locked here so a dedup "fix" doesn't silently reweight destinations.
+func TestUniformWithConcentratedNodes(t *testing.T) {
+	rng := sim.NewRNG(3)
+	nodes := []int{0, 0, 1, 1, 2, 2, 3, 3} // 4 routers, concentration 2
+	member := map[int]bool{}
+	for _, v := range nodes {
+		member[v] = true
+	}
+	u := Uniform{Nodes: nodes}
+	counts := map[int]int{}
+	for i := 0; i < 4000; i++ {
+		d := u.Dest(0, rng)
+		if !member[d] {
+			t.Fatalf("dest %d not in node list", d)
+		}
+		counts[d]++
+	}
+	// src=0 still appears once in the sampled list (its duplicate), so it
+	// must draw, but less often than the fully-duplicated routers.
+	if counts[0] == 0 {
+		t.Fatal("duplicated src never drawn: exclusion removed both copies")
+	}
+	for _, v := range []int{1, 2, 3} {
+		if counts[v] <= counts[0] {
+			t.Fatalf("router %d drawn %d times, not above half-excluded src (%d)", v, counts[v], counts[0])
+		}
+	}
+	// Saturation estimation must stay finite and positive on a duplicated
+	// node list (the concentrated injection process).
+	m := topology.NewMesh(2, 2)
+	app := AppTraffic{App: 0, Nodes: nodes, Components: []Component{IntraUR(nodes)}}
+	if r := SaturationRate(m, app, 2000, 1); r <= 0 || math.IsInf(r, 0) || math.IsNaN(r) {
+		t.Fatalf("SaturationRate on concentrated nodes = %v", r)
+	}
+}

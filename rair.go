@@ -329,7 +329,7 @@ func New(cfg Config) (*Simulation, error) {
 		return nil, err
 	}
 
-	scheme, err := schemeByName(cfg)
+	scheme, err := schemeByName(cfg, regs.NumApps())
 	if err != nil {
 		return nil, err
 	}
@@ -360,10 +360,17 @@ func (s *Simulation) lbdrRestricted() bool {
 	return ok
 }
 
-func schemeByName(cfg Config) (harness.Scheme, error) {
+func schemeByName(cfg Config, numApps int) (harness.Scheme, error) {
 	ranks := cfg.Ranks
 	if ranks == nil {
-		n := 8
+		// Default identity ranking sized to the configured app count so
+		// big layouts (16-region grids, chiplet packages) don't silently
+		// truncate RO_Rank's oracle at eight apps; keep the historical
+		// floor of eight so small configs are byte-identical.
+		n := numApps
+		if n < 8 {
+			n = 8
+		}
 		ranks = make([]int, n)
 		for i := range ranks {
 			ranks[i] = i
